@@ -1,0 +1,56 @@
+"""Fig. 2: EDP of Shi-diannao / Eyeriss / NVDLA style FDAs on ResNet50 and UNet.
+
+The paper's Fig. 2 uses 256 PEs and 32 GB/s of NoC bandwidth for all three
+accelerators and shows that no single dataflow is good for both models:
+NVDLA wins on ResNet50 (deep channels) while the activation-parallel styles
+win on UNet (shallow channels, huge activations).
+"""
+
+from repro.accel.builders import make_fda
+from repro.core.evaluator import evaluate_design
+from repro.dataflow.styles import ALL_STYLES
+from repro.maestro.hardware import ChipConfig
+from repro.units import gbps, mib
+from repro.workloads.suites import single_model
+
+from common import SHARED_COST_MODEL, emit, run_once
+
+FIG2_CHIP = ChipConfig(name="fig2", num_pes=256,
+                       noc_bandwidth_bytes_per_s=gbps(32),
+                       global_buffer_bytes=mib(2))
+
+
+def _figure2():
+    rows = []
+    results = {}
+    for model_name in ("resnet50", "unet"):
+        workload = single_model(model_name, batches=1)
+        for style in ALL_STYLES:
+            result = evaluate_design(make_fda(FIG2_CHIP, style), workload,
+                                     cost_model=SHARED_COST_MODEL)
+            results[(model_name, style.name)] = result.edp
+            rows.append(
+                f"{model_name:10s} {style.name:12s} "
+                f"latency {result.latency_s * 1e3:9.2f} ms  "
+                f"energy {result.energy_mj:8.2f} mJ  EDP {result.edp:10.4f} J*s"
+            )
+    best_resnet = min((s.name for s in ALL_STYLES), key=lambda n: results[("resnet50", n)])
+    best_unet = min((s.name for s in ALL_STYLES), key=lambda n: results[("unet", n)])
+    rows.append(f"best dataflow for resnet50: {best_resnet}")
+    rows.append(f"best dataflow for unet    : {best_unet}")
+    return rows, results
+
+
+def test_fig02_fda_edp(benchmark):
+    rows, results = run_once(benchmark, _figure2)
+    emit("fig02_fda_edp", rows)
+    # Shape checks from the paper: the channel-parallel NVDLA style wins on
+    # ResNet50, and its advantage over the activation-parallel styles shrinks
+    # substantially on UNet (in the paper it reverses outright; see
+    # EXPERIMENTS.md for the deviation discussion).
+    best_resnet = min(("nvdla", "shidiannao", "eyeriss"),
+                      key=lambda n: results[("resnet50", n)])
+    assert best_resnet == "nvdla"
+    resnet_ratio = results[("resnet50", "nvdla")] / results[("resnet50", "shidiannao")]
+    unet_ratio = results[("unet", "nvdla")] / results[("unet", "shidiannao")]
+    assert unet_ratio > resnet_ratio

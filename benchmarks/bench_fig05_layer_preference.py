@@ -1,0 +1,56 @@
+"""Fig. 5: per-layer utilisation and EDP of NVDLA vs Shi-diannao style FDAs.
+
+Three example layers: an early classification CONV2D (shallow channels, large
+activation), a late classification CONV2D (deep channels, small activation),
+and a depth-wise convolution.  The figure shows NVDLA under-utilising on the
+first and third layers and Shi-diannao under-utilising on the second.
+"""
+
+from repro.dataflow.mapping import build_mapping
+from repro.dataflow.styles import NVDLA, SHIDIANNAO
+from repro.maestro.hardware import SubAcceleratorConfig
+from repro.models.layer import conv2d, dwconv
+from repro.units import gbps, mib
+
+from common import SHARED_COST_MODEL, emit, run_once
+
+NUM_PES = 1024
+
+LAYERS = {
+    "layer1-early-conv": conv2d("early", k=32, c=16, y=114, x=114, r=3, s=3),
+    "layer2-late-conv": conv2d("late", k=512, c=256, y=9, x=9, r=3, s=3),
+    "layer3-depthwise": dwconv("dw", c=96, y=58, x=58, r=3, s=3),
+}
+
+
+def _sub(style):
+    return SubAcceleratorConfig(name=f"fig5-{style.name}", dataflow=style,
+                                num_pes=NUM_PES, bandwidth_bytes_per_s=gbps(32),
+                                buffer_bytes=mib(2))
+
+
+def _figure5():
+    rows = []
+    data = {}
+    for label, layer in LAYERS.items():
+        for style in (NVDLA, SHIDIANNAO):
+            mapping = build_mapping(layer, style, NUM_PES)
+            cost = SHARED_COST_MODEL.layer_cost(layer, _sub(style))
+            data[(label, style.name)] = (mapping.utilisation, cost.edp)
+            rows.append(
+                f"{label:20s} {style.name:12s} utilisation {mapping.utilisation:6.1%}  "
+                f"EDP {cost.edp:.4e} J*s"
+            )
+    return rows, data
+
+
+def test_fig05_layer_preferences(benchmark):
+    rows, data = run_once(benchmark, _figure5)
+    emit("fig05_layer_preference", rows)
+    # Shape checks mirroring Fig. 5: each accelerator style wins on the layer
+    # class its parallelisation strategy matches.
+    assert data[("layer1-early-conv", "shidiannao")][1] < data[("layer1-early-conv", "nvdla")][1]
+    assert data[("layer2-late-conv", "nvdla")][1] < data[("layer2-late-conv", "shidiannao")][1]
+    assert data[("layer3-depthwise", "shidiannao")][1] < data[("layer3-depthwise", "nvdla")][1]
+    # Utilisation gap on the depth-wise layer (NVDLA cannot fill the array).
+    assert data[("layer3-depthwise", "nvdla")][0] < data[("layer3-depthwise", "shidiannao")][0]

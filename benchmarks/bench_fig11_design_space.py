@@ -1,0 +1,72 @@
+"""Fig. 11: latency-energy design space of FDA / SM-FDA / RDA / HDA designs.
+
+The paper's central figure: for each of the three workloads and each
+accelerator class, every accelerator style is a point in the latency-energy
+plane, and well-optimised HDAs (and the RDA) sit on the Pareto front while
+FDAs do not.  This benchmark regenerates the nine sub-plots' data (the series
+per accelerator category) and reports the headline EDP improvement of the best
+HDA over the best FDA per sub-plot.
+"""
+
+from repro.accel.classes import ACCELERATOR_CLASSES
+from repro.analysis.metrics import percent_improvement
+from repro.analysis.pareto import pareto_front
+from repro.workloads.suites import arvr_a, arvr_b, mlperf
+
+from common import emit, make_dse, run_once
+
+WORKLOADS = {
+    "AR/VR-A": arvr_a,
+    "AR/VR-B": arvr_b,
+    "MLPerf": mlperf,
+}
+
+CLASSES = ("edge", "mobile", "cloud")
+
+
+def _figure11():
+    dse = make_dse(pe_steps=8, bw_steps=4)
+    rows = []
+    spaces = {}
+    for workload_name, factory in WORKLOADS.items():
+        workload = factory()
+        for class_name in CLASSES:
+            chip = ACCELERATOR_CLASSES[class_name]
+            space = dse.explore(workload, chip)
+            spaces[(workload_name, class_name)] = space
+            rows.append(f"--- {workload_name} on {class_name} "
+                        f"({len(space.points)} design points) ---")
+            for category in space.categories():
+                best = space.best(category)
+                rows.append(
+                    f"  best {category:7s}: latency {best.latency_s * 1e3:9.2f} ms  "
+                    f"energy {best.energy_mj:9.1f} mJ  EDP {best.edp:.4g} J*s  "
+                    f"[{best.design.name}]"
+                )
+            hda = space.best("hda")
+            fda = space.best("fda")
+            rows.append(
+                "  best HDA vs best FDA: "
+                f"EDP {percent_improvement(fda.edp, hda.edp):+.1f} %, "
+                f"latency {percent_improvement(fda.latency_s, hda.latency_s):+.1f} %, "
+                f"energy {percent_improvement(fda.energy_mj, hda.energy_mj):+.1f} %"
+            )
+            front = pareto_front(space.points)
+            front_categories = {point.category for point in front}
+            rows.append(f"  Pareto-front categories: {sorted(front_categories)}")
+    return rows, spaces
+
+
+def test_fig11_design_space(benchmark):
+    rows, spaces = run_once(benchmark, _figure11)
+    emit("fig11_design_space", rows)
+    for (workload_name, class_name), space in spaces.items():
+        # The paper's central claim: the best HDA improves EDP over the best
+        # FDA.  A small tolerance covers the sub-plots where our re-derived
+        # cost model leaves the two within noise of each other (documented in
+        # EXPERIMENTS.md).
+        assert space.best("hda").edp <= space.best("fda").edp * 1.05, (
+            f"best HDA should not lose to the best FDA on {workload_name}/{class_name}")
+        # An HDA always sits on the latency-energy Pareto front.
+        front = pareto_front(space.points)
+        assert any(point.category == "hda" for point in front)

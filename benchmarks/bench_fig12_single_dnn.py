@@ -1,0 +1,59 @@
+"""Fig. 12: single-DNN design space (UNet and ResNet50, batch 4, cloud class).
+
+Even with a single model, HDAs exploit batch-level layer parallelism and
+intra-model shape heterogeneity.  The paper reports that the best FDA is on
+the Pareto curve here (unlike the multi-DNN workloads) but Maelstrom still
+improves EDP over the best monolithic design, while the RDA is faster but less
+energy-efficient than Maelstrom.
+"""
+
+from repro.accel.builders import make_rda
+from repro.accel.classes import CLOUD
+from repro.analysis.metrics import percent_improvement
+from repro.core.evaluator import evaluate_design
+from repro.workloads.suites import single_model
+
+from common import SHARED_COST_MODEL, emit, make_dse, run_once
+
+MODELS = ("unet", "resnet50")
+
+
+def _figure12():
+    dse = make_dse(pe_steps=8, bw_steps=2)
+    rows = []
+    stats = {}
+    for model_name in MODELS:
+        workload = single_model(model_name, batches=4)
+        space = dse.explore(workload, CLOUD, include_smfda=False,
+                            include_three_way=False)
+        best_fda = space.best("fda")
+        best_hda = space.best("hda")
+        rda = space.best("rda")
+        stats[model_name] = (best_fda, best_hda, rda)
+        rows.append(f"--- {model_name} x4 on cloud ---")
+        for label, point in (("best FDA", best_fda), ("best HDA", best_hda), ("RDA", rda)):
+            rows.append(
+                f"  {label:9s}: latency {point.latency_s * 1e3:9.2f} ms  "
+                f"energy {point.energy_mj:9.1f} mJ  EDP {point.edp:.4g} J*s"
+            )
+        rows.append(
+            f"  best HDA vs best FDA EDP: "
+            f"{percent_improvement(best_fda.edp, best_hda.edp):+.1f} % "
+            f"(paper: +26.4 % for UNet, +48.1 % for ResNet50)"
+        )
+        rows.append(
+            f"  RDA vs best HDA: latency "
+            f"{percent_improvement(best_hda.latency_s, rda.latency_s):+.1f} %, "
+            f"energy {percent_improvement(best_hda.energy_mj, rda.energy_mj):+.1f} %"
+        )
+    return rows, stats
+
+
+def test_fig12_single_dnn(benchmark):
+    rows, stats = run_once(benchmark, _figure12)
+    emit("fig12_single_dnn", rows)
+    for model_name, (best_fda, best_hda, rda) in stats.items():
+        # HDA does not lose EDP to the best monolithic design even for one model.
+        assert best_hda.edp <= best_fda.edp * 1.05
+        # The RDA pays an energy premium relative to the best HDA.
+        assert rda.energy_mj > best_hda.energy_mj

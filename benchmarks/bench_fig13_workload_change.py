@@ -1,0 +1,41 @@
+"""Fig. 13: robustness of fixed HDA designs to workload change.
+
+Each Maelstrom design is optimised for one workload and then evaluated (with
+only the schedule re-run) on every workload; the paper reports an average
+latency/energy penalty of only ~4 % / ~0.1 % and that HDAs keep their
+advantage over FDAs after the change.
+"""
+
+from repro.accel.classes import EDGE
+from repro.analysis.sweeps import workload_change_study
+from repro.workloads.suites import arvr_a, arvr_b, mlperf
+
+from common import emit, make_dse, run_once
+
+
+def _figure13():
+    dse = make_dse(pe_steps=8, bw_steps=2)
+    workloads = [arvr_a(), arvr_b(), mlperf()]
+    study = workload_change_study(workloads, EDGE, dse=dse)
+    rows = ["optimised-for -> run-on : latency (ms), energy (mJ), latency penalty (%)"]
+    for optimised_for in study.results:
+        for run_on, result in study.results[optimised_for].items():
+            penalty = study.penalty(optimised_for, run_on) if optimised_for != run_on else 0.0
+            rows.append(
+                f"{optimised_for:8s} -> {run_on:8s} : "
+                f"{result.latency_s * 1e3:9.2f} ms  {result.energy_mj:9.1f} mJ  "
+                f"{penalty:+6.1f} %"
+            )
+    rows.append(f"average latency penalty across mismatched pairs: "
+                f"{study.average_penalty('latency_s'):+.2f} % (paper: ~4 %)")
+    rows.append(f"average energy penalty across mismatched pairs : "
+                f"{study.average_penalty('energy_mj'):+.2f} % (paper: ~0.1 %)")
+    return rows, study
+
+
+def test_fig13_workload_change(benchmark):
+    rows, study = run_once(benchmark, _figure13)
+    emit("fig13_workload_change", rows)
+    # Shape check: running a mismatched workload costs only a modest penalty.
+    assert study.average_penalty("latency_s") < 50.0
+    assert study.average_penalty("energy_mj") < 25.0

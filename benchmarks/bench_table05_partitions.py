@@ -1,0 +1,50 @@
+"""Table V: Maelstrom's Herald-optimised PE / bandwidth partitions.
+
+For every workload x accelerator-class combination the paper reports the
+NVDLA / Shi-diannao resource split of the best-EDP Maelstrom design.  This
+benchmark regenerates the table with Herald's partition search.
+"""
+
+from repro.accel.classes import ACCELERATOR_CLASSES
+from repro.workloads.suites import arvr_a, arvr_b, mlperf
+
+from common import emit, make_dse, run_once
+
+WORKLOADS = {
+    "AR/VR-A": arvr_a,
+    "AR/VR-B": arvr_b,
+    "MLPerf": mlperf,
+}
+
+#: Keep the edge and mobile classes for the timed run; the cloud column is
+#: included in the printed table as well (it is the slowest to search).
+CLASSES = ("edge", "mobile", "cloud")
+
+
+def _table5():
+    dse = make_dse(pe_steps=8, bw_steps=4)
+    rows = ["workload    class    BW (NVDLA/Shi) GB/s    PE (NVDLA/Shi)        EDP (J*s)"]
+    partitions = {}
+    for workload_name, factory in WORKLOADS.items():
+        workload = factory()
+        for class_name in CLASSES:
+            chip = ACCELERATOR_CLASSES[class_name]
+            point = dse.maelstrom(workload, chip)
+            partitions[(workload_name, class_name)] = point
+            bw = " / ".join(f"{b:.0f}" for b in point.bw_partition_gbps)
+            pes = " / ".join(str(p) for p in point.pe_partition)
+            rows.append(f"{workload_name:10s} {class_name:8s} {bw:>18s}    {pes:>18s}    "
+                        f"{point.edp:.4g}")
+    return rows, partitions
+
+
+def test_table05_maelstrom_partitions(benchmark):
+    rows, partitions = run_once(benchmark, _table5)
+    emit("table05_partitions", rows)
+    for point in partitions.values():
+        assert sum(point.pe_partition) in {chip.num_pes
+                                           for chip in ACCELERATOR_CLASSES.values()}
+    # Shape check: at least some of the optimised partitions are uneven
+    # (Table V shows mostly non-trivial splits).
+    uneven = [p for p in partitions.values() if p.pe_partition[0] != p.pe_partition[1]]
+    assert uneven

@@ -1,0 +1,45 @@
+"""Table VI: latency and energy gain of the HDA vs the best FDA and the RDA
+as the MLPerf batch size grows.
+
+The paper reports that HDAs prefer large batch sizes: with batch 8 the HDA
+outperforms the RDA in both latency and energy on every accelerator class.
+"""
+
+from repro.accel.classes import EDGE, MOBILE
+from repro.analysis.sweeps import batch_size_study
+from repro.workloads.suites import mlperf
+
+from common import emit, make_dse, run_once
+
+CLASSES = (EDGE, MOBILE)
+BATCH_SIZES = (1, 8)
+
+
+def _table6():
+    dse = make_dse(pe_steps=8, bw_steps=2)
+    rows = ["class    batch   latency gain (vs FDA / vs RDA)   energy gain (vs FDA / vs RDA)"]
+    all_rows = []
+    for chip in CLASSES:
+        study = batch_size_study(mlperf(), chip, batch_sizes=BATCH_SIZES, dse=dse)
+        all_rows.extend(study)
+        for row in study:
+            rows.append(
+                f"{row.chip_name:8s} {row.batch_size:5d}   "
+                f"{row.latency_gain_vs_fda:+7.1f} % / {row.latency_gain_vs_rda:+7.1f} %      "
+                f"{row.energy_gain_vs_fda:+7.1f} % / {row.energy_gain_vs_rda:+7.1f} %"
+            )
+    return rows, all_rows
+
+
+def test_table06_batch_size(benchmark):
+    rows, data = run_once(benchmark, _table6)
+    emit("table06_batch_size", rows)
+    by_key = {(row.chip_name, row.batch_size): row for row in data}
+    for chip in CLASSES:
+        small = by_key[(chip.name, 1)]
+        large = by_key[(chip.name, 8)]
+        # Shape check from Table VI: the HDA's latency advantage over the RDA
+        # grows (or at least does not shrink) with the batch size.
+        assert large.latency_gain_vs_rda >= small.latency_gain_vs_rda - 1e-6
+        # Energy advantage over the RDA holds at every batch size.
+        assert large.energy_gain_vs_rda > 0.0

@@ -1,0 +1,52 @@
+"""Table VII: time required to schedule each workload on two- and three-way HDAs.
+
+The paper reports 1.6 - 10.7 seconds per workload (i7 laptop, their Python
+implementation), i.e. ~11 ms per layer per design point.  This benchmark times
+Herald's scheduler on the same workloads for two- and three-way HDAs.
+"""
+
+import time
+
+from repro.accel.builders import make_hda
+from repro.accel.classes import MOBILE
+from repro.core.scheduler import HeraldScheduler
+from repro.dataflow.styles import EYERISS, NVDLA, SHIDIANNAO
+from repro.workloads.suites import arvr_a, arvr_b, mlperf
+
+from common import SHARED_COST_MODEL, emit, run_once
+
+WORKLOADS = {
+    "AR/VR-A": arvr_a,
+    "AR/VR-B": arvr_b,
+    "MLPerf": mlperf,
+}
+
+SUB_ACCELERATOR_SETS = {
+    2: [NVDLA, SHIDIANNAO],
+    3: [NVDLA, SHIDIANNAO, EYERISS],
+}
+
+
+def _table7():
+    scheduler = HeraldScheduler(SHARED_COST_MODEL)
+    rows = ["workload    #layers   #sub-accelerators   scheduling time (s)"]
+    timings = {}
+    for workload_name, factory in WORKLOADS.items():
+        workload = factory()
+        for count, styles in SUB_ACCELERATOR_SETS.items():
+            design = make_hda(MOBILE, styles)
+            start = time.perf_counter()
+            schedule = scheduler.schedule(workload, design.sub_accelerators)
+            elapsed = time.perf_counter() - start
+            timings[(workload_name, count)] = elapsed
+            rows.append(f"{workload_name:10s} {workload.total_layers:8d} {count:12d} "
+                        f"          {elapsed:10.3f}")
+            assert len(schedule) == workload.total_layers
+    return rows, timings
+
+
+def test_table07_scheduling_time(benchmark):
+    rows, timings = run_once(benchmark, _table7)
+    emit("table07_scheduling_time", rows)
+    # The scheduler must stay laptop-friendly: well under the paper's numbers.
+    assert all(elapsed < 30.0 for elapsed in timings.values())

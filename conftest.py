@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The library is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in fully offline environments); this shim lets the
+test and benchmark suites run straight from a source checkout as well.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

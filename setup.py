@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools/pip
+combination cannot build PEP 660 editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

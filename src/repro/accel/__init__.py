@@ -1,0 +1,43 @@
+"""Accelerator designs: FDA, SM-FDA, RDA and HDA, plus the Table IV classes.
+
+An :class:`~repro.accel.design.AcceleratorDesign` bundles a chip-level resource
+envelope with a set of sub-accelerators.  The four accelerator styles of
+Table III are constructed through the builder functions in
+:mod:`repro.accel.builders`; the edge / mobile / cloud accelerator classes of
+Table IV live in :mod:`repro.accel.classes`.
+"""
+
+from repro.accel.design import AcceleratorDesign, AcceleratorKind
+from repro.accel.classes import (
+    ACCELERATOR_CLASSES,
+    EDGE,
+    MOBILE,
+    CLOUD,
+    accelerator_class,
+)
+from repro.accel.builders import (
+    make_fda,
+    make_rda,
+    make_smfda,
+    make_hda,
+    enumerate_fdas,
+    enumerate_smfdas,
+    hda_style_combinations,
+)
+
+__all__ = [
+    "AcceleratorDesign",
+    "AcceleratorKind",
+    "ACCELERATOR_CLASSES",
+    "EDGE",
+    "MOBILE",
+    "CLOUD",
+    "accelerator_class",
+    "make_fda",
+    "make_rda",
+    "make_smfda",
+    "make_hda",
+    "enumerate_fdas",
+    "enumerate_smfdas",
+    "hda_style_combinations",
+]

@@ -1,0 +1,169 @@
+"""Builders for the four accelerator styles evaluated in the paper (Table III)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import PartitionError
+from repro.accel.design import AcceleratorDesign, AcceleratorKind
+from repro.dataflow.styles import ALL_STYLES, DataflowStyle
+from repro.maestro.hardware import ChipConfig, SubAcceleratorConfig
+
+
+def make_fda(chip: ChipConfig, style: DataflowStyle,
+             name: Optional[str] = None) -> AcceleratorDesign:
+    """A fixed dataflow accelerator: one monolithic array running ``style``."""
+    design_name = name or f"fda-{style.name}-{chip.name}"
+    return AcceleratorDesign(
+        name=design_name,
+        kind=AcceleratorKind.FDA,
+        chip=chip,
+        sub_accelerators=(chip.monolithic(style, name=f"{design_name}/acc0"),),
+    )
+
+
+def make_rda(chip: ChipConfig, name: Optional[str] = None) -> AcceleratorDesign:
+    """A reconfigurable dataflow accelerator (MAERI style).
+
+    The single array may pick the best dataflow per layer; the cost model
+    charges the reconfiguration latency/energy and the interconnect energy
+    overhead of the flexible fabric.
+    """
+    design_name = name or f"rda-{chip.name}"
+    return AcceleratorDesign(
+        name=design_name,
+        kind=AcceleratorKind.RDA,
+        chip=chip,
+        sub_accelerators=(chip.monolithic(None, name=f"{design_name}/acc0"),),
+    )
+
+
+def _partition_evenly(total: int, parts: int, quantum: int = 1) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal integer shares of ``quantum`` granularity."""
+    base = (total // parts // quantum) * quantum
+    shares = [base] * parts
+    shares[0] += total - base * parts
+    return shares
+
+
+def _build_partitioned(chip: ChipConfig, styles: Sequence[Optional[DataflowStyle]],
+                       pe_partition: Sequence[int], bw_partition_gbps: Sequence[float],
+                       name: str, kind: AcceleratorKind) -> AcceleratorDesign:
+    """Construct a multi-sub-accelerator design from explicit partitions."""
+    if not (len(styles) == len(pe_partition) == len(bw_partition_gbps)):
+        raise PartitionError(
+            f"design {name!r}: styles ({len(styles)}), PE partition ({len(pe_partition)}) "
+            f"and bandwidth partition ({len(bw_partition_gbps)}) must have the same length"
+        )
+    if any(p <= 0 for p in pe_partition):
+        raise PartitionError(f"design {name!r}: every sub-accelerator needs at least one PE")
+    if any(b <= 0 for b in bw_partition_gbps):
+        raise PartitionError(f"design {name!r}: every sub-accelerator needs bandwidth > 0")
+
+    total_pes = sum(pe_partition)
+    if total_pes != chip.num_pes:
+        raise PartitionError(
+            f"design {name!r}: PE partition sums to {total_pes}, chip has {chip.num_pes}"
+        )
+
+    subs: List[SubAcceleratorConfig] = []
+    for index, (style, pes, bw_gbps) in enumerate(zip(styles, pe_partition, bw_partition_gbps)):
+        style_label = style.name if style is not None else "rda"
+        subs.append(
+            SubAcceleratorConfig(
+                name=f"{name}/acc{index}-{style_label}",
+                dataflow=style,
+                num_pes=pes,
+                bandwidth_bytes_per_s=bw_gbps * 1e9,
+                # The global scratchpad is a shared, time-multiplexed resource:
+                # every sub-accelerator can stage its working tile in it, so
+                # tile-residency decisions see the full capacity (the scheduler
+                # is responsible for bounding simultaneous occupancy).
+                buffer_bytes=chip.global_buffer_bytes,
+                dram_bandwidth_bytes_per_s=chip.dram_bandwidth,
+                clock_hz=chip.clock_hz,
+            )
+        )
+    return AcceleratorDesign(name=name, kind=kind, chip=chip, sub_accelerators=tuple(subs))
+
+
+def make_smfda(chip: ChipConfig, style: DataflowStyle, num_sub_accelerators: int = 2,
+               name: Optional[str] = None) -> AcceleratorDesign:
+    """A scaled-out multi-FDA: identical sub-accelerators running the same dataflow.
+
+    Resources are partitioned evenly, which is the defining property of the
+    SM-FDA baseline [Baek et al.] the paper compares against.
+    """
+    design_name = name or f"smfda-{style.name}-x{num_sub_accelerators}-{chip.name}"
+    pe_partition = _partition_evenly(chip.num_pes, num_sub_accelerators)
+    bw_total_gbps = chip.noc_bandwidth_bytes_per_s / 1e9
+    bw_partition = [bw_total_gbps / num_sub_accelerators] * num_sub_accelerators
+    return _build_partitioned(
+        chip=chip,
+        styles=[style] * num_sub_accelerators,
+        pe_partition=pe_partition,
+        bw_partition_gbps=bw_partition,
+        name=design_name,
+        kind=AcceleratorKind.SM_FDA,
+    )
+
+
+def make_hda(chip: ChipConfig, styles: Sequence[DataflowStyle],
+             pe_partition: Optional[Sequence[int]] = None,
+             bw_partition_gbps: Optional[Sequence[float]] = None,
+             name: Optional[str] = None) -> AcceleratorDesign:
+    """A heterogeneous dataflow accelerator with the given sub-accelerator dataflows.
+
+    When no explicit partition is supplied the resources are split evenly —
+    the naive partitioning the paper shows to be sub-optimal (Fig. 6) — so the
+    partitioner in :mod:`repro.core.partitioner` can start from a valid design.
+    """
+    if len(styles) < 2:
+        raise PartitionError("an HDA needs at least two sub-accelerators")
+    if len({style.name for style in styles}) < 2:
+        raise PartitionError(
+            "an HDA must combine at least two distinct dataflow styles; use make_smfda "
+            "for homogeneous scale-out designs"
+        )
+    style_tag = "-".join(style.name for style in styles)
+    design_name = name or f"hda-{style_tag}-{chip.name}"
+    if pe_partition is None:
+        pe_partition = _partition_evenly(chip.num_pes, len(styles))
+    if bw_partition_gbps is None:
+        total_gbps = chip.noc_bandwidth_bytes_per_s / 1e9
+        bw_partition_gbps = [total_gbps / len(styles)] * len(styles)
+    return _build_partitioned(
+        chip=chip,
+        styles=list(styles),
+        pe_partition=list(pe_partition),
+        bw_partition_gbps=list(bw_partition_gbps),
+        name=design_name,
+        kind=AcceleratorKind.HDA,
+    )
+
+
+def enumerate_fdas(chip: ChipConfig,
+                   styles: Sequence[DataflowStyle] = ALL_STYLES) -> List[AcceleratorDesign]:
+    """All FDA designs for a chip (one per dataflow style), as in Table III."""
+    return [make_fda(chip, style) for style in styles]
+
+
+def enumerate_smfdas(chip: ChipConfig, num_sub_accelerators: int = 2,
+                     styles: Sequence[DataflowStyle] = ALL_STYLES) -> List[AcceleratorDesign]:
+    """All SM-FDA designs for a chip (one per dataflow style), as in Table III."""
+    return [make_smfda(chip, style, num_sub_accelerators) for style in styles]
+
+
+def hda_style_combinations(styles: Sequence[DataflowStyle] = ALL_STYLES,
+                           include_three_way: bool = True
+                           ) -> List[Tuple[DataflowStyle, ...]]:
+    """The HDA dataflow combinations evaluated in the paper.
+
+    Three two-way combinations of NVDLA / Shi-diannao / Eyeriss plus one
+    three-way combination of all styles (Table III).
+    """
+    combos: List[Tuple[DataflowStyle, ...]] = list(itertools.combinations(styles, 2))
+    if include_three_way and len(styles) >= 3:
+        combos.append(tuple(styles))
+    return combos

@@ -1,0 +1,47 @@
+"""Accelerator resource classes for edge, mobile, and cloud scenarios (Table IV)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.maestro.hardware import ChipConfig
+from repro.units import gbps, mib
+
+#: Edge scenario: 1024 PEs, 16 GB/s NoC bandwidth, 4 MiB global buffer.
+EDGE = ChipConfig(
+    name="edge",
+    num_pes=1024,
+    noc_bandwidth_bytes_per_s=gbps(16),
+    global_buffer_bytes=mib(4),
+)
+
+#: Mobile scenario: 4096 PEs, 64 GB/s NoC bandwidth, 8 MiB global buffer.
+MOBILE = ChipConfig(
+    name="mobile",
+    num_pes=4096,
+    noc_bandwidth_bytes_per_s=gbps(64),
+    global_buffer_bytes=mib(8),
+)
+
+#: Cloud scenario: 16384 PEs, 256 GB/s NoC bandwidth, 16 MiB global buffer.
+CLOUD = ChipConfig(
+    name="cloud",
+    num_pes=16384,
+    noc_bandwidth_bytes_per_s=gbps(256),
+    global_buffer_bytes=mib(16),
+)
+
+#: All three accelerator classes evaluated in the paper, keyed by name.
+ACCELERATOR_CLASSES: Dict[str, ChipConfig] = {
+    chip.name: chip for chip in (EDGE, MOBILE, CLOUD)
+}
+
+
+def accelerator_class(name: str) -> ChipConfig:
+    """Return the Table IV accelerator class called ``name``."""
+    try:
+        return ACCELERATOR_CLASSES[name.strip().lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown accelerator class {name!r}; available: {sorted(ACCELERATOR_CLASSES)}"
+        ) from None

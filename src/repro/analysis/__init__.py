@@ -1,0 +1,26 @@
+"""Analysis utilities: EDP metrics, Pareto fronts, and experiment sweeps."""
+
+from repro.analysis.metrics import (
+    edp,
+    percent_improvement,
+    geometric_mean,
+    gain_table,
+)
+from repro.analysis.pareto import pareto_front, is_pareto_optimal
+from repro.analysis.sweeps import (
+    batch_size_study,
+    workload_change_study,
+    pe_partition_sweep,
+)
+
+__all__ = [
+    "edp",
+    "percent_improvement",
+    "geometric_mean",
+    "gain_table",
+    "pareto_front",
+    "is_pareto_optimal",
+    "batch_size_study",
+    "workload_change_study",
+    "pe_partition_sweep",
+]

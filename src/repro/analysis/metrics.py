@@ -1,0 +1,79 @@
+"""Metric helpers used by the evaluation: EDP, improvements, gain tables.
+
+The paper reports results as percentage improvements ("65.3 % lower latency",
+"5.0 % lower energy") of one design over another; the helpers here compute
+those numbers consistently so every benchmark and example reports them the
+same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def edp(energy_j: float, latency_s: float) -> float:
+    """Energy-delay product in joule-seconds."""
+    if energy_j < 0 or latency_s < 0:
+        raise ValueError("energy and latency must be non-negative")
+    return energy_j * latency_s
+
+
+def percent_improvement(baseline: float, candidate: float) -> float:
+    """Percentage by which ``candidate`` improves (reduces) over ``baseline``.
+
+    Positive values mean the candidate is better (lower); negative values mean
+    it is worse, e.g. ``percent_improvement(10, 12) == -20.0``.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - candidate) / baseline * 100.0
+
+
+def percent_overhead(baseline: float, candidate: float) -> float:
+    """Percentage by which ``candidate`` exceeds ``baseline`` (the inverse view)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (candidate - baseline) / baseline * 100.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used to average ratios across workloads)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot take the geometric mean of an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def gain_table(baselines: Mapping[str, Mapping[str, float]],
+               candidate: Mapping[str, float],
+               metrics: Sequence[str] = ("latency_s", "energy_mj", "edp_js")
+               ) -> Dict[str, Dict[str, float]]:
+    """Percentage improvement of ``candidate`` over each baseline per metric.
+
+    ``baselines`` maps baseline name to its metric dictionary (as produced by
+    ``EvaluationResult.summary()``); the return value maps baseline name to
+    ``{metric: improvement_percent}``.  This is the shape of Table VI and of
+    the headline comparisons in Sec. V-B.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for name, baseline in baselines.items():
+        row: Dict[str, float] = {}
+        for metric in metrics:
+            row[metric] = percent_improvement(baseline[metric], candidate[metric])
+        table[name] = row
+    return table
+
+
+def summarise_improvements(improvements: Iterable[float]) -> Dict[str, float]:
+    """Mean / min / max of a set of percentage improvements."""
+    values: List[float] = list(improvements)
+    if not values:
+        raise ValueError("cannot summarise an empty sequence")
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,43 @@
+"""Pareto-front extraction over the latency-energy plane.
+
+The paper's central observation (Fig. 11) is that well-optimised HDAs and the
+RDA sit on the latency-energy Pareto curve while FDAs do not.  These helpers
+compute that curve for any collection of objects exposing ``latency_s`` and
+``energy_mj`` attributes (design-space points, evaluation results, or plain
+(latency, energy) tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def _coordinates(point) -> Tuple[float, float]:
+    """Extract (latency, energy) from a point object or a 2-tuple."""
+    if hasattr(point, "latency_s") and hasattr(point, "energy_mj"):
+        return float(point.latency_s), float(point.energy_mj)
+    latency, energy = point
+    return float(latency), float(energy)
+
+
+def dominates(a, b) -> bool:
+    """Whether point ``a`` dominates ``b`` (no worse in both, better in one)."""
+    a_lat, a_energy = _coordinates(a)
+    b_lat, b_energy = _coordinates(b)
+    no_worse = a_lat <= b_lat and a_energy <= b_energy
+    strictly_better = a_lat < b_lat or a_energy < b_energy
+    return no_worse and strictly_better
+
+
+def is_pareto_optimal(point, population: Iterable) -> bool:
+    """Whether no point in ``population`` dominates ``point``."""
+    return not any(dominates(other, point) for other in population if other is not point)
+
+
+def pareto_front(points: Sequence) -> List:
+    """The subset of ``points`` that no other point dominates.
+
+    The result is sorted by latency so it can be plotted or tabulated directly.
+    """
+    front = [point for point in points if is_pareto_optimal(point, points)]
+    return sorted(front, key=_coordinates)

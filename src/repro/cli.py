@@ -1,0 +1,117 @@
+"""Command-line interface for the Herald reproduction.
+
+Three sub-commands mirror how the paper uses Herald:
+
+``herald describe``
+    Print the workload and accelerator-class inventories.
+``herald schedule``
+    Schedule one workload on one design (FDA / RDA / Maelstrom-style HDA) and
+    print latency / energy / EDP.
+``herald dse``
+    Run the co-design-space exploration for a workload and an accelerator
+    class and print the best design per accelerator category.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.accel import accelerator_class, make_fda, make_hda, make_rda
+from repro.accel.classes import ACCELERATOR_CLASSES
+from repro.core import HeraldDSE, HeraldScheduler, evaluate_design
+from repro.core.partitioner import PartitionSearch
+from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
+from repro.maestro import CostModel
+from repro.workloads import workload_by_name
+from repro.workloads.suites import WORKLOAD_SUITES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="herald",
+        description="Herald: co-design-space exploration for heterogeneous "
+                    "dataflow accelerators (HPCA 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="list workloads and accelerator classes")
+
+    schedule = sub.add_parser("schedule", help="schedule a workload on one design")
+    schedule.add_argument("--workload", default="arvr-a", choices=sorted(WORKLOAD_SUITES))
+    schedule.add_argument("--chip", default="edge", choices=sorted(ACCELERATOR_CLASSES))
+    schedule.add_argument("--design", default="maelstrom",
+                          choices=["maelstrom", "rda", "fda-nvdla", "fda-shidiannao",
+                                   "fda-eyeriss"])
+    schedule.add_argument("--metric", default="edp", choices=["edp", "latency", "energy"])
+
+    dse = sub.add_parser("dse", help="run the co-design-space exploration")
+    dse.add_argument("--workload", default="arvr-a", choices=sorted(WORKLOAD_SUITES))
+    dse.add_argument("--chip", default="edge", choices=sorted(ACCELERATOR_CLASSES))
+    dse.add_argument("--pe-steps", type=int, default=8,
+                     help="granularity of the PE partition search")
+    dse.add_argument("--bw-steps", type=int, default=4,
+                     help="granularity of the bandwidth partition search")
+    return parser
+
+
+def _command_describe() -> int:
+    print("Workloads (Table II):")
+    for name in sorted(WORKLOAD_SUITES):
+        workload = workload_by_name(name)
+        print("  " + workload.describe().replace("\n", "\n  "))
+    print("\nAccelerator classes (Table IV):")
+    for chip in ACCELERATOR_CLASSES.values():
+        print(f"  {chip.describe()}")
+    return 0
+
+
+def _command_schedule(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    chip = accelerator_class(args.chip)
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model, metric=args.metric)
+
+    if args.design == "maelstrom":
+        dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler)
+        design = dse.maelstrom_design(workload, chip)
+    elif args.design == "rda":
+        design = make_rda(chip)
+    else:
+        style = style_by_name(args.design.split("-", 1)[1])
+        design = make_fda(chip, style)
+
+    result = evaluate_design(design, workload, cost_model=cost_model, scheduler=scheduler)
+    print(design.describe())
+    print(result.describe())
+    print(f"scheduling time: {result.scheduling_time_s:.2f} s")
+    return 0
+
+
+def _command_dse(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    chip = accelerator_class(args.chip)
+    cost_model = CostModel()
+    search = PartitionSearch(cost_model=cost_model, pe_steps=args.pe_steps,
+                             bw_steps=args.bw_steps)
+    dse = HeraldDSE(cost_model=cost_model, partition_search=search)
+    space = dse.explore(workload, chip)
+    print(space.describe())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "describe":
+        return _command_describe()
+    if args.command == "schedule":
+        return _command_schedule(args)
+    if args.command == "dse":
+        return _command_dse(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Herald's co-design-space-exploration driver (Fig. 10).
+
+:class:`HeraldDSE` ties everything together: for a workload and an accelerator
+class it evaluates
+
+* every FDA (one per dataflow style),
+* every SM-FDA (homogeneous scale-out, evenly partitioned),
+* the MAERI-style RDA, and
+* every HDA dataflow combination, each with a hardware-partition search,
+
+and returns the full design space (the scatter plots of Fig. 11) together with
+the best design per accelerator category.  The named HDA the paper identifies,
+**Maelstrom** (NVDLA + Shi-diannao with Herald-optimised partitioning), is
+exposed through :meth:`HeraldDSE.maelstrom`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SearchError
+from repro.accel.builders import (
+    enumerate_fdas,
+    enumerate_smfdas,
+    hda_style_combinations,
+    make_hda,
+    make_rda,
+)
+from repro.accel.design import AcceleratorDesign, AcceleratorKind
+from repro.dataflow.styles import ALL_STYLES, NVDLA, SHIDIANNAO, DataflowStyle
+from repro.maestro.cost import CostModel
+from repro.maestro.hardware import ChipConfig
+from repro.core.evaluator import EvaluationResult, evaluate_design
+from repro.core.partitioner import PartitionPoint, PartitionSearch
+from repro.core.scheduler import HeraldScheduler
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class DesignSpacePoint:
+    """One evaluated design in the latency-energy plane (a dot in Fig. 11)."""
+
+    category: str
+    design: AcceleratorDesign
+    result: EvaluationResult
+
+    @property
+    def latency_s(self) -> float:
+        """Workload latency of this design."""
+        return self.result.latency_s
+
+    @property
+    def energy_mj(self) -> float:
+        """Workload energy of this design."""
+        return self.result.energy_mj
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of this design."""
+        return self.result.edp
+
+    def describe(self) -> str:
+        """One-line description used in design-space dumps."""
+        return (
+            f"[{self.category:<12}] {self.design.name:<42} "
+            f"latency {self.latency_s * 1e3:9.2f} ms  energy {self.energy_mj:9.1f} mJ  "
+            f"EDP {self.edp:.4g} J*s"
+        )
+
+
+@dataclass
+class DSEResult:
+    """Full outcome of one Herald DSE run (one workload on one chip class)."""
+
+    workload_name: str
+    chip_name: str
+    points: List[DesignSpacePoint] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def by_category(self, category: str) -> List[DesignSpacePoint]:
+        """All evaluated points of one category (``fda``, ``sm-fda``, ``rda``, ``hda``)."""
+        return [point for point in self.points if point.category == category]
+
+    def best(self, category: Optional[str] = None, metric: str = "edp") -> DesignSpacePoint:
+        """Best point overall or within a category, by the given metric."""
+        pool = self.points if category is None else self.by_category(category)
+        if not pool:
+            raise SearchError(
+                f"no design points in category {category!r} for workload "
+                f"{self.workload_name!r}"
+            )
+        key = {
+            "edp": lambda p: p.edp,
+            "latency": lambda p: p.latency_s,
+            "energy": lambda p: p.energy_mj,
+        }[metric]
+        return min(pool, key=key)
+
+    def categories(self) -> List[str]:
+        """Categories present in the design space."""
+        return sorted({point.category for point in self.points})
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Best design per category as report-friendly rows."""
+        rows: List[Dict[str, object]] = []
+        for category in self.categories():
+            best = self.best(category)
+            rows.append({
+                "category": category,
+                "design": best.design.name,
+                "latency_s": best.latency_s,
+                "energy_mj": best.energy_mj,
+                "edp_js": best.edp,
+            })
+        return rows
+
+    def describe(self) -> str:
+        """Multi-line summary: best design per category."""
+        lines = [f"Design space for {self.workload_name} on {self.chip_name} "
+                 f"({len(self.points)} points, {self.elapsed_s:.1f} s)"]
+        for row in self.summary_rows():
+            lines.append(
+                f"  best {row['category']:<8}: {row['design']:<42} "
+                f"latency {row['latency_s'] * 1e3:9.2f} ms  "
+                f"energy {row['energy_mj']:9.1f} mJ  EDP {row['edp_js']:.4g} J*s"
+            )
+        return "\n".join(lines)
+
+
+class HeraldDSE:
+    """Hardware/schedule co-design-space exploration driver.
+
+    Parameters
+    ----------
+    cost_model:
+        Shared cost model; a single instance is reused so its cache carries
+        across every design evaluated in one DSE run.
+    scheduler:
+        Layer scheduler used for every design; defaults to Herald's scheduler.
+    partition_search:
+        Partition-search configuration used for HDA (and SM-FDA) candidates.
+    styles:
+        Dataflow styles available for FDAs / sub-accelerators.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 scheduler: Optional[HeraldScheduler] = None,
+                 partition_search: Optional[PartitionSearch] = None,
+                 styles: Sequence[DataflowStyle] = ALL_STYLES) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.scheduler = scheduler or HeraldScheduler(self.cost_model)
+        self.partition_search = partition_search or PartitionSearch(
+            cost_model=self.cost_model, scheduler=self.scheduler)
+        self.styles = tuple(styles)
+
+    # ------------------------------------------------------------------
+    # Whole-design-space exploration (Fig. 11)
+    # ------------------------------------------------------------------
+    def explore(self, workload: WorkloadSpec, chip: ChipConfig,
+                include_rda: bool = True, include_smfda: bool = True,
+                include_three_way: bool = True,
+                hda_combinations: Optional[Sequence[Sequence[DataflowStyle]]] = None
+                ) -> DSEResult:
+        """Evaluate the full accelerator design space for one workload and chip."""
+        start = time.perf_counter()
+        result = DSEResult(workload_name=workload.name, chip_name=chip.name)
+
+        for design in enumerate_fdas(chip, self.styles):
+            result.points.append(self._evaluate(design, workload, "fda"))
+
+        if include_smfda:
+            for design in enumerate_smfdas(chip, 2, self.styles):
+                result.points.append(self._evaluate(design, workload, "sm-fda"))
+
+        if include_rda:
+            result.points.append(self._evaluate(make_rda(chip), workload, "rda"))
+
+        combos = hda_combinations
+        if combos is None:
+            combos = hda_style_combinations(self.styles, include_three_way=include_three_way)
+        for combo in combos:
+            for point in self.partition_search.search(chip, list(combo), workload):
+                result.points.append(DesignSpacePoint(
+                    category="hda",
+                    design=point.result.design,
+                    result=point.result,
+                ))
+
+        result.elapsed_s = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    # Maelstrom: the paper's named HDA (NVDLA + Shi-diannao)
+    # ------------------------------------------------------------------
+    def maelstrom(self, workload: WorkloadSpec, chip: ChipConfig) -> PartitionPoint:
+        """Herald-optimised NVDLA + Shi-diannao HDA for the workload (Table V)."""
+        return self.partition_search.search_best(chip, [NVDLA, SHIDIANNAO], workload)
+
+    def maelstrom_design(self, workload: WorkloadSpec, chip: ChipConfig
+                         ) -> AcceleratorDesign:
+        """The Maelstrom accelerator design itself (for reuse in other studies)."""
+        point = self.maelstrom(workload, chip)
+        return make_hda(
+            chip,
+            [NVDLA, SHIDIANNAO],
+            pe_partition=point.pe_partition,
+            bw_partition_gbps=point.bw_partition_gbps,
+            name=f"maelstrom-{workload.name}-{chip.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # Comparisons used throughout Sec. V
+    # ------------------------------------------------------------------
+    def compare_with_baselines(self, workload: WorkloadSpec, chip: ChipConfig
+                               ) -> Dict[str, EvaluationResult]:
+        """Best FDA, best SM-FDA, the RDA, and Maelstrom on one workload/chip."""
+        space = self.explore(workload, chip, include_three_way=False,
+                             hda_combinations=[(NVDLA, SHIDIANNAO)])
+        return {
+            "best_fda": space.best("fda").result,
+            "best_smfda": space.best("sm-fda").result,
+            "rda": space.best("rda").result,
+            "maelstrom": space.best("hda").result,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _evaluate(self, design: AcceleratorDesign, workload: WorkloadSpec,
+                  category: str) -> DesignSpacePoint:
+        result = evaluate_design(design, workload, cost_model=self.cost_model,
+                                 scheduler=self.scheduler)
+        return DesignSpacePoint(category=category, design=design, result=result)

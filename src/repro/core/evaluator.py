@@ -1,0 +1,111 @@
+"""Design evaluation: latency, energy, and EDP of a design on a workload.
+
+This is the glue between the accelerator descriptions (:mod:`repro.accel`),
+the scheduler (:mod:`repro.core.scheduler`), and the cost model
+(:mod:`repro.maestro`).  Every experiment in the paper boils down to calling
+:func:`evaluate_design` on some (design, workload) pair and comparing the
+resulting latency / energy / EDP numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.accel.design import AcceleratorDesign
+from repro.maestro.cost import CostModel
+from repro.core.schedule import Schedule
+from repro.core.scheduler import HeraldScheduler
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of evaluating one accelerator design on one workload.
+
+    Attributes
+    ----------
+    design:
+        The evaluated accelerator design.
+    workload_name:
+        Name of the workload the design was evaluated on.
+    schedule:
+        The layer-execution schedule that produced the numbers.
+    scheduling_time_s:
+        Wall-clock time spent scheduling (Table VII reports this).
+    """
+
+    design: AcceleratorDesign
+    workload_name: str
+    schedule: Schedule
+    scheduling_time_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Workload completion time in seconds."""
+        return self.schedule.makespan_seconds
+
+    @property
+    def energy_mj(self) -> float:
+        """Total energy in millijoules."""
+        return self.schedule.total_energy_mj
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.schedule.edp
+
+    def summary(self) -> Dict[str, float]:
+        """Key metrics as a dictionary used by reports and benchmarks."""
+        return {
+            "latency_s": self.latency_s,
+            "energy_mj": self.energy_mj,
+            "edp_js": self.edp,
+            "scheduling_time_s": self.scheduling_time_s,
+        }
+
+    def describe(self) -> str:
+        """One-line description used by reports and the CLI."""
+        return (
+            f"{self.design.name} on {self.workload_name}: "
+            f"latency {self.latency_s * 1e3:.2f} ms, energy {self.energy_mj:.2f} mJ, "
+            f"EDP {self.edp:.4g} J*s"
+        )
+
+
+def evaluate_design(design: AcceleratorDesign, workload: WorkloadSpec,
+                    cost_model: Optional[CostModel] = None,
+                    scheduler: Optional[HeraldScheduler] = None) -> EvaluationResult:
+    """Evaluate ``design`` on ``workload`` and return latency / energy / EDP.
+
+    A default :class:`~repro.core.scheduler.HeraldScheduler` is used unless a
+    configured scheduler (or a :class:`~repro.core.greedy.GreedyScheduler`,
+    which exposes the same ``schedule`` method) is supplied.  Monolithic
+    designs (FDA / RDA) have a single sub-accelerator, so the same scheduler
+    simply produces a sequential schedule for them.
+    """
+    model = cost_model or CostModel()
+    active_scheduler = scheduler or HeraldScheduler(model)
+    start = time.perf_counter()
+    schedule = active_scheduler.schedule(workload, design.sub_accelerators)
+    elapsed = time.perf_counter() - start
+    return EvaluationResult(
+        design=design,
+        workload_name=workload.name,
+        schedule=schedule,
+        scheduling_time_s=elapsed,
+    )
+
+
+def evaluate_designs(designs: Sequence[AcceleratorDesign], workload: WorkloadSpec,
+                     cost_model: Optional[CostModel] = None,
+                     scheduler: Optional[HeraldScheduler] = None
+                     ) -> Dict[str, EvaluationResult]:
+    """Evaluate several designs on the same workload, keyed by design name."""
+    model = cost_model or CostModel()
+    return {
+        design.name: evaluate_design(design, workload, cost_model=model,
+                                     scheduler=scheduler)
+        for design in designs
+    }

@@ -1,0 +1,82 @@
+"""Baseline greedy scheduler the paper compares Herald's scheduler against.
+
+The greedy baseline (Sec. V-B, "Efficacy of Scheduling Algorithm") assigns
+every layer to the sub-accelerator with the least per-layer EDP, walking the
+models one after another (depth-first), with no load balancing and no
+idle-time post-processing.  It is locally optimal per layer but globally
+sub-optimal: the preferred sub-accelerator becomes a serial bottleneck while
+the others sit idle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.exceptions import SchedulingError
+from repro.maestro.cost import CostModel, metric_value
+from repro.maestro.hardware import SubAcceleratorConfig
+from repro.core.schedule import Schedule, ScheduledLayer
+from repro.workloads.spec import WorkloadSpec
+
+
+class GreedyScheduler:
+    """Per-layer locally-optimal scheduler with no global considerations.
+
+    Parameters
+    ----------
+    cost_model:
+        Cost model used to rank sub-accelerators per layer.
+    metric:
+        Per-layer objective; the paper's baseline uses EDP.
+    """
+
+    def __init__(self, cost_model: CostModel, metric: str = "edp") -> None:
+        if metric not in ("edp", "latency", "energy"):
+            raise SchedulingError(f"unknown metric {metric!r}")
+        self.cost_model = cost_model
+        self.metric = metric
+
+    def schedule(self, workload: WorkloadSpec,
+                 sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
+        """Schedule ``workload`` greedily onto ``sub_accelerators``."""
+        if not sub_accelerators:
+            raise SchedulingError("cannot schedule onto an empty sub-accelerator list")
+        schedule = Schedule(
+            sub_accelerator_names=tuple(acc.name for acc in sub_accelerators),
+            clock_hz=sub_accelerators[0].clock_hz,
+            idle_energy_pj_per_cycle_per_pe=self.cost_model.energy_table.leakage_per_cycle_per_pe,
+            pes_per_sub_accelerator={acc.name: acc.num_pes for acc in sub_accelerators},
+        )
+        acc_available: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
+
+        for instance in workload.instances():
+            previous_finish = 0.0
+            for layer_index, layer in enumerate(instance.layers_in_dependence_order()):
+                best_acc = None
+                best_cost = None
+                best_value = None
+                for acc in sub_accelerators:
+                    cost = self.cost_model.layer_cost(layer, acc)
+                    value = metric_value(cost, self.metric)
+                    if best_value is None or (value, acc.name) < (best_value, best_acc):
+                        best_value = value
+                        best_acc = acc.name
+                        best_cost = cost
+                start = max(acc_available[best_acc], previous_finish)
+                finish = start + best_cost.latency_cycles
+                schedule.add(ScheduledLayer(
+                    layer=layer,
+                    instance_id=instance.instance_id,
+                    layer_index=layer_index,
+                    sub_accelerator=best_acc,
+                    start_cycle=start,
+                    finish_cycle=finish,
+                    cost=best_cost,
+                ))
+                acc_available[best_acc] = finish
+                previous_finish = finish
+
+        expected = {instance.instance_id: instance.num_layers
+                    for instance in workload.instances()}
+        schedule.validate(expected_layers=expected)
+        return schedule

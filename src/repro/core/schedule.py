@@ -1,0 +1,303 @@
+"""Layer-execution schedules: data structures, accounting, and validation.
+
+A schedule is the output of Herald's scheduler (Fig. 7): for every layer of
+every model instance in the workload, which sub-accelerator runs it and when.
+The class provides the accounting the evaluation needs (makespan, energy,
+per-sub-accelerator utilisation, idle time) as well as validation of the two
+hard constraints from Sec. III-A — layer dependence and no overlapping
+execution on one sub-accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchedulingError
+from repro.maestro.cost import LayerCost
+from repro.models.layer import Layer
+from repro.units import cycles_to_seconds, picojoules_to_millijoules
+
+
+@dataclass(frozen=True)
+class ScheduledLayer:
+    """One layer execution placed on one sub-accelerator.
+
+    Attributes
+    ----------
+    layer:
+        The layer being executed.
+    instance_id:
+        Model instance (batch) the layer belongs to, e.g. ``"unet#2"``.
+    layer_index:
+        Position of the layer within its instance's dependence order.
+    sub_accelerator:
+        Name of the sub-accelerator executing the layer.
+    start_cycle / finish_cycle:
+        Execution window in clock cycles.
+    cost:
+        The cost-model estimate used for this execution.
+    """
+
+    layer: Layer
+    instance_id: str
+    layer_index: int
+    sub_accelerator: str
+    start_cycle: float
+    finish_cycle: float
+    cost: LayerCost
+
+    @property
+    def duration_cycles(self) -> float:
+        """Execution duration in cycles."""
+        return self.finish_cycle - self.start_cycle
+
+    @property
+    def energy_pj(self) -> float:
+        """Energy of this execution in picojoules."""
+        return self.cost.energy_pj
+
+    def describe(self) -> str:
+        """One-line description used in schedule dumps."""
+        return (
+            f"[{self.start_cycle:>12.0f} .. {self.finish_cycle:>12.0f}] "
+            f"{self.sub_accelerator:<28} {self.instance_id}/{self.layer.name}"
+        )
+
+
+@dataclass
+class Schedule:
+    """A complete layer-execution schedule for one workload on one design."""
+
+    sub_accelerator_names: Tuple[str, ...]
+    entries: List[ScheduledLayer] = field(default_factory=list)
+    clock_hz: float = 1.0e9
+    idle_energy_pj_per_cycle_per_pe: float = 0.0
+    pes_per_sub_accelerator: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, entry: ScheduledLayer) -> None:
+        """Append an execution record."""
+        if entry.sub_accelerator not in self.sub_accelerator_names:
+            raise SchedulingError(
+                f"schedule entry references unknown sub-accelerator "
+                f"{entry.sub_accelerator!r}"
+            )
+        if entry.finish_cycle < entry.start_cycle:
+            raise SchedulingError(
+                f"schedule entry for {entry.layer.name!r} finishes before it starts"
+            )
+        self.entries.append(entry)
+
+    def extend(self, entries: Iterable[ScheduledLayer]) -> None:
+        """Append several execution records."""
+        for entry in entries:
+            self.add(entry)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def makespan_cycles(self) -> float:
+        """Completion time of the last layer, in cycles."""
+        if not self.entries:
+            return 0.0
+        return max(entry.finish_cycle for entry in self.entries)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Completion time of the last layer, in seconds (the paper's latency)."""
+        return cycles_to_seconds(self.makespan_cycles, self.clock_hz)
+
+    @property
+    def dynamic_energy_pj(self) -> float:
+        """Sum of per-layer energies."""
+        return sum(entry.energy_pj for entry in self.entries)
+
+    @property
+    def idle_energy_pj(self) -> float:
+        """Static energy of idle PEs across the whole makespan (dark silicon)."""
+        if self.idle_energy_pj_per_cycle_per_pe <= 0.0 or not self.entries:
+            return 0.0
+        total = 0.0
+        makespan = self.makespan_cycles
+        for name in self.sub_accelerator_names:
+            pes = self.pes_per_sub_accelerator.get(name, 0)
+            busy = self.busy_cycles(name)
+            idle = max(0.0, makespan - busy)
+            total += idle * pes * self.idle_energy_pj_per_cycle_per_pe
+        return total
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Dynamic plus idle energy in picojoules."""
+        return self.dynamic_energy_pj + self.idle_energy_pj
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Total energy in millijoules (the unit used in the paper's figures)."""
+        return picojoules_to_millijoules(self.total_energy_pj)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return (self.total_energy_pj * 1e-12) * self.makespan_seconds
+
+    def entries_for(self, sub_accelerator: str) -> List[ScheduledLayer]:
+        """Execution records of one sub-accelerator, ordered by start time."""
+        return sorted(
+            (entry for entry in self.entries if entry.sub_accelerator == sub_accelerator),
+            key=lambda entry: (entry.start_cycle, entry.finish_cycle),
+        )
+
+    def entries_for_instance(self, instance_id: str) -> List[ScheduledLayer]:
+        """Execution records of one model instance, ordered by layer index."""
+        return sorted(
+            (entry for entry in self.entries if entry.instance_id == instance_id),
+            key=lambda entry: entry.layer_index,
+        )
+
+    def busy_cycles(self, sub_accelerator: str) -> float:
+        """Total cycles the sub-accelerator spends executing layers."""
+        return sum(entry.duration_cycles for entry in self.entries_for(sub_accelerator))
+
+    def idle_cycles(self, sub_accelerator: str) -> float:
+        """Cycles the sub-accelerator is idle before the schedule completes."""
+        return max(0.0, self.makespan_cycles - self.busy_cycles(sub_accelerator))
+
+    def utilisation(self, sub_accelerator: str) -> float:
+        """Busy fraction of one sub-accelerator over the makespan."""
+        makespan = self.makespan_cycles
+        if makespan <= 0:
+            return 0.0
+        return self.busy_cycles(sub_accelerator) / makespan
+
+    def load_imbalance(self) -> float:
+        """Largest per-sub-accelerator busy time divided by the smallest.
+
+        This is the load-unbalancing factor Herald's load-balancing feedback
+        bounds (Sec. IV-D).
+        """
+        busy = [self.busy_cycles(name) for name in self.sub_accelerator_names]
+        smallest = min(busy)
+        largest = max(busy)
+        if smallest <= 0.0:
+            return float("inf") if largest > 0 else 1.0
+        return largest / smallest
+
+    def layer_counts(self) -> Dict[str, int]:
+        """Number of layers executed per sub-accelerator."""
+        counts = {name: 0 for name in self.sub_accelerator_names}
+        for entry in self.entries:
+            counts[entry.sub_accelerator] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, expected_layers: Optional[Dict[str, int]] = None) -> None:
+        """Check the schedule against the hard constraints of Sec. III-A.
+
+        * no two layers overlap on the same sub-accelerator;
+        * layers of one model instance execute in dependence order, and a layer
+          never starts before its predecessor finishes;
+        * if ``expected_layers`` (instance id -> layer count) is supplied, every
+          instance is fully scheduled exactly once.
+
+        Raises
+        ------
+        SchedulingError
+            If any constraint is violated.
+        """
+        self._validate_no_overlap()
+        self._validate_dependences()
+        if expected_layers is not None:
+            self._validate_completeness(expected_layers)
+
+    def _validate_no_overlap(self) -> None:
+        for name in self.sub_accelerator_names:
+            timeline = self.entries_for(name)
+            for previous, current in zip(timeline, timeline[1:]):
+                if current.start_cycle < previous.finish_cycle - 1e-6:
+                    raise SchedulingError(
+                        f"sub-accelerator {name!r}: {current.instance_id}/"
+                        f"{current.layer.name} starts at {current.start_cycle:.0f} before "
+                        f"{previous.instance_id}/{previous.layer.name} finishes at "
+                        f"{previous.finish_cycle:.0f}"
+                    )
+
+    def _validate_dependences(self) -> None:
+        instance_ids = {entry.instance_id for entry in self.entries}
+        for instance_id in instance_ids:
+            chain = self.entries_for_instance(instance_id)
+            indices = [entry.layer_index for entry in chain]
+            if len(set(indices)) != len(indices):
+                raise SchedulingError(
+                    f"instance {instance_id!r}: a layer index is scheduled more than once"
+                )
+            for previous, current in zip(chain, chain[1:]):
+                if current.layer_index != previous.layer_index + 1:
+                    raise SchedulingError(
+                        f"instance {instance_id!r}: layer indices are not contiguous "
+                        f"({previous.layer_index} followed by {current.layer_index})"
+                    )
+                if current.start_cycle < previous.finish_cycle - 1e-6:
+                    raise SchedulingError(
+                        f"instance {instance_id!r}: layer {current.layer.name!r} starts "
+                        f"before its predecessor {previous.layer.name!r} finishes"
+                    )
+
+    def _validate_completeness(self, expected_layers: Dict[str, int]) -> None:
+        scheduled: Dict[str, int] = {}
+        for entry in self.entries:
+            scheduled[entry.instance_id] = scheduled.get(entry.instance_id, 0) + 1
+        for instance_id, expected in expected_layers.items():
+            actual = scheduled.get(instance_id, 0)
+            if actual != expected:
+                raise SchedulingError(
+                    f"instance {instance_id!r}: expected {expected} scheduled layers, "
+                    f"found {actual}"
+                )
+        unexpected = set(scheduled) - set(expected_layers)
+        if unexpected:
+            raise SchedulingError(
+                f"schedule contains unknown instances: {sorted(unexpected)!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Key metrics as a dictionary (used by reports and benchmarks)."""
+        return {
+            "latency_s": self.makespan_seconds,
+            "energy_mj": self.total_energy_mj,
+            "edp_js": self.edp,
+            "num_layers": float(len(self.entries)),
+            "load_imbalance": self.load_imbalance() if self.entries else 1.0,
+        }
+
+    def describe(self, max_entries: int = 20) -> str:
+        """Human-readable dump of the first ``max_entries`` execution records."""
+        lines = [
+            f"Schedule: {len(self.entries)} layer executions on "
+            f"{len(self.sub_accelerator_names)} sub-accelerator(s)",
+            f"  latency {self.makespan_seconds * 1e3:.3f} ms, "
+            f"energy {self.total_energy_mj:.2f} mJ, EDP {self.edp:.4g} J*s",
+        ]
+        for name in self.sub_accelerator_names:
+            lines.append(
+                f"  {name}: {self.layer_counts()[name]} layers, "
+                f"utilisation {self.utilisation(name):.1%}"
+            )
+        ordered = sorted(self.entries, key=lambda entry: entry.start_cycle)
+        for entry in ordered[:max_entries]:
+            lines.append("  " + entry.describe())
+        if len(ordered) > max_entries:
+            lines.append(f"  ... {len(ordered) - max_entries} more entries")
+        return "\n".join(lines)

@@ -1,0 +1,341 @@
+"""Herald's layer-execution scheduler (Sec. IV-D, Fig. 7-9).
+
+The scheduler works in two steps, mirroring the paper:
+
+1. **Initial scheduling** (Fig. 8).  Model instances are visited in
+   breadth-first (interleave models) or depth-first (finish a model first)
+   order.  Each head layer is assigned to the sub-accelerator its dataflow
+   prefers (lowest EDP / latency / energy, user selectable) subject to a
+   load-balancing condition: if assigning to the preferred sub-accelerator
+   would leave it more than ``load_balance_factor`` behind the most-loaded
+   sub-accelerator, the next-best sub-accelerator is tried instead.  Layer
+   dependence and (optionally) global-buffer occupancy are checked before an
+   assignment is committed.
+
+2. **Post-processing** (Fig. 9).  The initial order can leave sub-accelerators
+   idle while a dependent layer waits on another sub-accelerator.  The
+   post-processor keeps the layer-to-sub-accelerator assignment but re-derives
+   the execution order with a look-ahead list schedule: whenever a
+   sub-accelerator becomes free, it starts the earliest *ready* layer assigned
+   to it, skipping over layers whose dependences are still outstanding.
+
+Both phases use the MAESTRO-based cost model for per-layer latency/energy, so
+the same scheduler serves monolithic designs (FDA / RDA, one sub-accelerator)
+and multi-sub-accelerator designs (SM-FDA / HDA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchedulingError
+from repro.maestro.cost import CostModel, LayerCost, metric_value
+from repro.maestro.hardware import SubAcceleratorConfig
+from repro.models.layer import Layer
+from repro.core.schedule import Schedule, ScheduledLayer
+from repro.units import BYTES_PER_ELEMENT
+from repro.workloads.spec import ModelInstance, WorkloadSpec
+
+#: Layer orderings supported by the initial scheduling step.
+ORDERINGS = ("breadth", "depth")
+
+#: Metrics a user may optimise layer assignment for.
+METRICS = ("edp", "latency", "energy")
+
+
+@dataclass
+class _Assignment:
+    """One layer-to-sub-accelerator assignment produced by the initial step."""
+
+    order_index: int
+    instance_id: str
+    layer_index: int
+    layer: Layer
+    sub_accelerator: str
+    cost: LayerCost
+
+
+@dataclass
+class _InstanceState:
+    """Mutable scheduling state of one model instance."""
+
+    instance: ModelInstance
+    layers: List[Layer]
+    next_index: int = 0
+    ready_cycle: float = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_index >= len(self.layers)
+
+    @property
+    def head(self) -> Layer:
+        return self.layers[self.next_index]
+
+    @property
+    def live_bytes(self) -> int:
+        """Approximate live activation footprint of the instance."""
+        if self.next_index == 0 or self.exhausted:
+            return 0
+        produced = self.layers[self.next_index - 1]
+        return produced.output_elements * BYTES_PER_ELEMENT
+
+
+class HeraldScheduler:
+    """Herald's load-balanced, dependence-aware layer scheduler.
+
+    Parameters
+    ----------
+    cost_model:
+        Cost model used to query per-layer latency and energy.
+    metric:
+        Assignment objective: ``"edp"`` (default), ``"latency"`` or ``"energy"``.
+    ordering:
+        Initial layer ordering: ``"breadth"`` (interleave model instances,
+        default) or ``"depth"`` (schedule a whole instance before the next).
+    load_balance_factor:
+        Maximum allowed ratio between the most- and least-loaded
+        sub-accelerators before the scheduler redirects a layer to a
+        less-preferred sub-accelerator.  ``None`` disables the feedback.
+    memory_limit_bytes:
+        Optional global-buffer occupancy bound checked before each assignment;
+        when even deferring cannot satisfy it the violation is counted (and
+        exposed through :attr:`last_memory_violations`) but the layer is still
+        scheduled, matching Herald's DRAM-spill fallback.
+    enable_post_processing:
+        Whether to run the idle-time-elimination pass (Fig. 9).
+    """
+
+    def __init__(self, cost_model: CostModel, metric: str = "edp",
+                 ordering: str = "breadth",
+                 load_balance_factor: Optional[float] = 1.25,
+                 memory_limit_bytes: Optional[int] = None,
+                 enable_post_processing: bool = True) -> None:
+        if metric not in METRICS:
+            raise SchedulingError(f"unknown metric {metric!r}; expected one of {METRICS}")
+        if ordering not in ORDERINGS:
+            raise SchedulingError(f"unknown ordering {ordering!r}; expected one of {ORDERINGS}")
+        if load_balance_factor is not None and load_balance_factor < 1.0:
+            raise SchedulingError("load_balance_factor must be >= 1.0 (or None to disable)")
+        self.cost_model = cost_model
+        self.metric = metric
+        self.ordering = ordering
+        self.load_balance_factor = load_balance_factor
+        self.memory_limit_bytes = memory_limit_bytes
+        self.enable_post_processing = enable_post_processing
+        self.last_memory_violations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def schedule(self, workload: WorkloadSpec,
+                 sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
+        """Produce a validated schedule of ``workload`` on ``sub_accelerators``."""
+        if not sub_accelerators:
+            raise SchedulingError("cannot schedule onto an empty sub-accelerator list")
+        assignments = self._initial_assignment(workload, sub_accelerators)
+        if self.enable_post_processing:
+            schedule = self._list_schedule(assignments, sub_accelerators)
+        else:
+            schedule = self._replay_initial_order(assignments, sub_accelerators)
+        expected = {
+            instance.instance_id: instance.num_layers for instance in workload.instances()
+        }
+        schedule.validate(expected_layers=expected)
+        return schedule
+
+    # ------------------------------------------------------------------
+    # Step 1: initial assignment (Fig. 8)
+    # ------------------------------------------------------------------
+    def _initial_assignment(self, workload: WorkloadSpec,
+                            sub_accelerators: Sequence[SubAcceleratorConfig]
+                            ) -> List[_Assignment]:
+        states = [
+            _InstanceState(instance=instance,
+                           layers=instance.layers_in_dependence_order())
+            for instance in workload.instances()
+        ]
+        acc_by_name = {acc.name: acc for acc in sub_accelerators}
+        busy_cycles: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
+        assignments: List[_Assignment] = []
+        self.last_memory_violations = 0
+
+        order_index = 0
+        visit_queue = list(range(len(states)))
+        while any(not state.exhausted for state in states):
+            progressed = False
+            for position, state_index in enumerate(visit_queue):
+                state = states[state_index]
+                if state.exhausted:
+                    continue
+                layer = state.head
+                choice = self._choose_sub_accelerator(layer, sub_accelerators, busy_cycles)
+                if choice is None:
+                    continue
+                acc_name, cost = choice
+                if not self._memory_allows(states, state, layer):
+                    self.last_memory_violations += 1
+                assignments.append(_Assignment(
+                    order_index=order_index,
+                    instance_id=state.instance.instance_id,
+                    layer_index=state.next_index,
+                    layer=layer,
+                    sub_accelerator=acc_name,
+                    cost=cost,
+                ))
+                busy_cycles[acc_name] += cost.latency_cycles
+                state.next_index += 1
+                order_index += 1
+                progressed = True
+                self._rotate(visit_queue, position, state.exhausted)
+                break
+            if not progressed:
+                raise SchedulingError("scheduler made no progress; this indicates a bug")
+        return assignments
+
+    def _choose_sub_accelerator(self, layer: Layer,
+                                sub_accelerators: Sequence[SubAcceleratorConfig],
+                                busy_cycles: Dict[str, float]
+                                ) -> Optional[Tuple[str, LayerCost]]:
+        """Pick the sub-accelerator for a layer (preference plus load balance)."""
+        ranked: List[Tuple[float, str, LayerCost]] = []
+        for acc in sub_accelerators:
+            cost = self.cost_model.layer_cost(layer, acc)
+            ranked.append((metric_value(cost, self.metric), acc.name, cost))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+
+        if self.load_balance_factor is None or len(sub_accelerators) == 1:
+            _, name, cost = ranked[0]
+            return name, cost
+
+        # Load-balancing feedback (Fig. 8): walk the sub-accelerators in
+        # preference order and accept the first whose projected completion time
+        # (its accumulated load plus this layer's latency there) stays within
+        # ``load_balance_factor`` of the best achievable completion time.  When
+        # the preferred sub-accelerator is far ahead of the others this
+        # redirects the layer to the next-preferred one, trading a locally
+        # optimal assignment for global load balance, exactly the "try the
+        # second, third, ... best-fit accelerator" step of the paper.
+        finish_by_name = {
+            name: busy_cycles[name] + cost.latency_cycles for _, name, cost in ranked
+        }
+        best_finish = min(finish_by_name.values())
+        for _, name, cost in ranked:
+            if finish_by_name[name] <= self.load_balance_factor * best_finish:
+                return name, cost
+        # Unreachable in practice (the argmin always satisfies the bound), but
+        # keep a deterministic fallback.
+        _, name, cost = ranked[0]
+        return name, cost
+
+    def _memory_allows(self, states: Sequence[_InstanceState], current: _InstanceState,
+                       layer: Layer) -> bool:
+        """Check the global-buffer occupancy condition of Fig. 8."""
+        if self.memory_limit_bytes is None:
+            return True
+        live = sum(state.live_bytes for state in states if state is not current)
+        required = (layer.input_elements + layer.output_elements) * BYTES_PER_ELEMENT
+        return live + required <= self.memory_limit_bytes
+
+    def _rotate(self, visit_queue: List[int], position: int, exhausted: bool) -> None:
+        """Advance the visiting order according to the configured ordering."""
+        if self.ordering == "breadth":
+            visit_queue.append(visit_queue.pop(position))
+        elif exhausted:
+            # Depth-first: stay on the same instance until it is fully scheduled,
+            # then move it to the back.
+            visit_queue.append(visit_queue.pop(position))
+
+    # ------------------------------------------------------------------
+    # Step 2: timeline construction
+    # ------------------------------------------------------------------
+    def _list_schedule(self, assignments: Sequence[_Assignment],
+                       sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
+        """Idle-time-eliminating list schedule (the Fig. 9 post-processing).
+
+        The layer-to-sub-accelerator assignment is kept, but whenever a
+        sub-accelerator becomes free it starts the earliest *ready* layer
+        assigned to it, which removes the idle gaps a strict initial order
+        would create.
+        """
+        schedule = self._empty_schedule(sub_accelerators)
+        pending: Dict[str, List[_Assignment]] = {acc.name: [] for acc in sub_accelerators}
+        for assignment in assignments:
+            pending[assignment.sub_accelerator].append(assignment)
+        for queue in pending.values():
+            queue.sort(key=lambda a: a.order_index)
+
+        instance_next: Dict[str, int] = {}
+        instance_ready: Dict[str, float] = {}
+        for assignment in assignments:
+            instance_next.setdefault(assignment.instance_id, 0)
+            instance_ready.setdefault(assignment.instance_id, 0.0)
+        acc_avail: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
+
+        remaining = len(assignments)
+        while remaining:
+            best_key: Optional[Tuple[float, int]] = None
+            best_choice: Optional[Tuple[str, _Assignment]] = None
+            for acc_name, queue in pending.items():
+                for assignment in queue:
+                    if assignment.layer_index != instance_next[assignment.instance_id]:
+                        continue
+                    start = max(acc_avail[acc_name], instance_ready[assignment.instance_id])
+                    key = (start, assignment.order_index)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_choice = (acc_name, assignment)
+            if best_choice is None:
+                raise SchedulingError(
+                    "post-processing dead-lock: no ready layer found; this indicates a bug"
+                )
+            acc_name, assignment = best_choice
+            start = best_key[0]
+            finish = start + assignment.cost.latency_cycles
+            schedule.add(ScheduledLayer(
+                layer=assignment.layer,
+                instance_id=assignment.instance_id,
+                layer_index=assignment.layer_index,
+                sub_accelerator=acc_name,
+                start_cycle=start,
+                finish_cycle=finish,
+                cost=assignment.cost,
+            ))
+            acc_avail[acc_name] = finish
+            instance_ready[assignment.instance_id] = finish
+            instance_next[assignment.instance_id] += 1
+            pending[acc_name].remove(assignment)
+            remaining -= 1
+        return schedule
+
+    def _replay_initial_order(self, assignments: Sequence[_Assignment],
+                              sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
+        """Build the timeline strictly in initial-assignment order (no gap filling)."""
+        schedule = self._empty_schedule(sub_accelerators)
+        acc_avail: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
+        instance_ready: Dict[str, float] = {}
+        for assignment in sorted(assignments, key=lambda a: a.order_index):
+            ready = instance_ready.get(assignment.instance_id, 0.0)
+            start = max(acc_avail[assignment.sub_accelerator], ready)
+            finish = start + assignment.cost.latency_cycles
+            schedule.add(ScheduledLayer(
+                layer=assignment.layer,
+                instance_id=assignment.instance_id,
+                layer_index=assignment.layer_index,
+                sub_accelerator=assignment.sub_accelerator,
+                start_cycle=start,
+                finish_cycle=finish,
+                cost=assignment.cost,
+            ))
+            acc_avail[assignment.sub_accelerator] = finish
+            instance_ready[assignment.instance_id] = finish
+        return schedule
+
+    def _empty_schedule(self, sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
+        return Schedule(
+            sub_accelerator_names=tuple(acc.name for acc in sub_accelerators),
+            clock_hz=sub_accelerators[0].clock_hz,
+            idle_energy_pj_per_cycle_per_pe=self.cost_model.energy_table.leakage_per_cycle_per_pe,
+            pes_per_sub_accelerator={acc.name: acc.num_pes for acc in sub_accelerators},
+        )

@@ -1,0 +1,41 @@
+"""Dataflow representation: loop nests, dataflow styles, and mappings.
+
+The paper (Sec. II-B) defines a *dataflow* as the combination of loop ordering
+and spatial unrolling (parallelisation) applied to the seven-dimensional
+convolution loop nest, and a *mapping* as a dataflow with concrete loop
+blocking factors for one layer.  This package provides:
+
+:class:`~repro.dataflow.loopnest.LoopNest`
+    A symbolic loop-nest representation (Fig. 4 of the paper).
+:class:`~repro.dataflow.styles.DataflowStyle`
+    The three accelerator dataflow styles evaluated in the paper
+    (NVDLA, Shi-diannao, Eyeriss) plus the registry to look them up.
+:class:`~repro.dataflow.mapping.Mapping` and
+:func:`~repro.dataflow.mapping.build_mapping`
+    Construction of the best spatial unrolling of a layer onto a PE array for
+    a given dataflow style.
+"""
+
+from repro.dataflow.loopnest import Loop, LoopNest
+from repro.dataflow.styles import (
+    DataflowStyle,
+    EYERISS,
+    NVDLA,
+    SHIDIANNAO,
+    ALL_STYLES,
+    style_by_name,
+)
+from repro.dataflow.mapping import Mapping, build_mapping
+
+__all__ = [
+    "Loop",
+    "LoopNest",
+    "DataflowStyle",
+    "NVDLA",
+    "SHIDIANNAO",
+    "EYERISS",
+    "ALL_STYLES",
+    "style_by_name",
+    "Mapping",
+    "build_mapping",
+]

@@ -1,0 +1,141 @@
+"""Symbolic loop-nest representation of dataflows (Fig. 4 of the paper).
+
+A dataflow is written as an ordered list of loops over the convolution
+dimensions ``K, C, Y, X, R, S`` where each loop is either temporal (``for``) or
+spatial (``pfor``), possibly split across tile levels.  The loop nest is purely
+descriptive — the cost model works from the derived properties (which
+dimensions are spatially unrolled, which tensor is stationary) — but it lets
+users inspect and pretty-print the dataflows exactly as the paper presents
+them, and it is the natural place to express loop transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+#: The convolution loop dimensions in the order used throughout the paper.
+DIMENSIONS: Tuple[str, ...] = ("K", "C", "Y", "X", "R", "S")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop of a loop nest.
+
+    Parameters
+    ----------
+    dimension:
+        One of :data:`DIMENSIONS`.
+    spatial:
+        ``True`` for a ``pfor`` (spatially unrolled across PEs), ``False`` for a
+        temporal ``for``.
+    level:
+        Tile level (0 = innermost tile, 1 = next level up, ...), mirroring the
+        ``k0`` / ``k1`` split in Fig. 4.
+    """
+
+    dimension: str
+    spatial: bool = False
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dimension not in DIMENSIONS:
+            raise ValueError(
+                f"unknown loop dimension {self.dimension!r}; expected one of {DIMENSIONS}"
+            )
+        if self.level < 0:
+            raise ValueError("tile level must be non-negative")
+
+    def render(self) -> str:
+        """Render the loop the way Fig. 4 writes it, e.g. ``pfor(k0)``."""
+        keyword = "pfor" if self.spatial else "for"
+        return f"{keyword}({self.dimension.lower()}{self.level})"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """An ordered loop nest describing a dataflow."""
+
+    name: str
+    loops: Tuple[Loop, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "loops", tuple(self.loops))
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def spatial_dimensions(self) -> List[str]:
+        """Dimensions that are spatially unrolled, outermost first."""
+        return [loop.dimension for loop in self.loops if loop.spatial]
+
+    @property
+    def temporal_dimensions(self) -> List[str]:
+        """Dimensions that only appear as temporal loops."""
+        spatial = set(self.spatial_dimensions)
+        seen: List[str] = []
+        for loop in self.loops:
+            if not loop.spatial and loop.dimension not in spatial and loop.dimension not in seen:
+                seen.append(loop.dimension)
+        return seen
+
+    def innermost_temporal(self) -> str:
+        """The innermost temporal dimension (what stays stationary longest)."""
+        for loop in reversed(self.loops):
+            if not loop.spatial:
+                return loop.dimension
+        raise ValueError(f"loop nest {self.name!r} has no temporal loop")
+
+    def loop_order(self) -> List[str]:
+        """Dimension order from outermost to innermost (duplicates kept)."""
+        return [loop.dimension for loop in self.loops]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def interchange(self, outer_index: int, inner_index: int) -> "LoopNest":
+        """Return a new loop nest with the two loops swapped."""
+        loops = list(self.loops)
+        loops[outer_index], loops[inner_index] = loops[inner_index], loops[outer_index]
+        return LoopNest(name=f"{self.name}-interchanged", loops=tuple(loops))
+
+    def parallelise(self, dimension: str, level: int = 0) -> "LoopNest":
+        """Return a new loop nest with the given loop turned into a ``pfor``."""
+        loops = [
+            Loop(loop.dimension, spatial=True, level=loop.level)
+            if (loop.dimension == dimension and loop.level == level)
+            else loop
+            for loop in self.loops
+        ]
+        return LoopNest(name=f"{self.name}-parallel-{dimension.lower()}{level}",
+                        loops=tuple(loops))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, indent: int = 1) -> str:
+        """Pretty-print the loop nest in the paper's Fig. 4 style."""
+        lines: List[str] = []
+        for depth, loop in enumerate(self.loops):
+            lines.append(" " * (indent * depth) + loop.render())
+        body_indent = " " * (indent * len(self.loops))
+        lines.append(body_indent + "Output[k][y][x] += Input[c][y+r][x+s] * Filter[k][c][r][s]")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_spec(cls, name: str, spec: Iterable[Tuple[str, bool, int]]) -> "LoopNest":
+        """Build a loop nest from (dimension, spatial, level) triples."""
+        return cls(name=name, loops=tuple(Loop(d, s, lv) for d, s, lv in spec))
+
+
+def same_inner_loop_order(a: LoopNest, b: LoopNest, depth: int = 2) -> bool:
+    """Whether two loop nests share the same innermost temporal loop order.
+
+    The paper selects dataflows with the same inner-loop order so that
+    sub-accelerators can exchange tiles without data-layout conversion
+    (Sec. IV-A); this helper lets Herald check that property.
+    """
+    a_inner = [d for d in reversed(a.loop_order()) if d][:depth]
+    b_inner = [d for d in reversed(b.loop_order()) if d][:depth]
+    return a_inner == b_inner

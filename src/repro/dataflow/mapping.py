@@ -1,0 +1,216 @@
+"""Mapping construction: spatial unrolling of a layer onto a PE array.
+
+A *mapping* instantiates a dataflow for one layer by fixing the loop blocking
+factors (Sec. II-B).  For the analytical cost model the decisive part of the
+mapping is the spatial unrolling: how many PEs are active and how many
+sequential steps the temporal loops require.  The mapper below chooses, for
+the dataflow's spatial dimensions, the unrolling factors that minimise the
+number of compute steps (equivalently, maximise mapping utilisation) subject
+to the PE budget — the same "pick the best legal loop bounds" search MAESTRO's
+mapper performs for a fixed dataflow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import MappingError
+from repro.dataflow.styles import DataflowStyle
+from repro.models.layer import Layer
+
+
+def _divisors(value: int) -> List[int]:
+    """All divisors of ``value`` in ascending order."""
+    small: List[int] = []
+    large: List[int] = []
+    for candidate in range(1, int(math.isqrt(value)) + 1):
+        if value % candidate == 0:
+            small.append(candidate)
+            if candidate != value // candidate:
+                large.append(value // candidate)
+    return small + large[::-1]
+
+
+def _candidate_factors(dim: int, budget: int) -> List[int]:
+    """Candidate unrolling factors for one dimension under a PE budget.
+
+    The candidates are the divisors of the dimension (perfect utilisation along
+    that dimension), the budget-limited maximum, and a coarse power-of-two
+    ladder; this keeps the search tiny while covering the factors that matter
+    for utilisation quantisation.
+    """
+    limit = max(1, min(dim, budget))
+    candidates = {1, limit}
+    for divisor in _divisors(dim):
+        if divisor <= limit:
+            candidates.add(divisor)
+    power = 1
+    while power <= limit:
+        candidates.add(power)
+        power *= 2
+    return sorted(candidates)
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """The result of mapping one layer onto one sub-accelerator.
+
+    Attributes
+    ----------
+    layer:
+        The mapped layer.
+    style:
+        The dataflow style used.
+    spatial_factors:
+        Unrolling factor per spatial dimension name (e.g. ``{"K": 64, "C": 16}``).
+    num_pes:
+        PE budget of the sub-accelerator the mapping targets.
+    compute_steps:
+        Number of sequential PE-array steps (the product of ⌈dim/factor⌉ over
+        every loop dimension); one step issues one MAC per active PE.
+    active_pes:
+        Number of PEs that receive work (product of the spatial factors).
+    """
+
+    layer: Layer
+    style: DataflowStyle
+    spatial_factors: Dict[str, int]
+    num_pes: int
+    compute_steps: int
+    active_pes: int
+
+    @property
+    def utilisation(self) -> float:
+        """Mapping utilisation: MACs issued per PE-cycle of the whole array.
+
+        This accounts both for inactive PEs and for edge (quantisation) effects,
+        matching the utilisation numbers annotated in Fig. 5.
+        """
+        if self.compute_steps == 0 or self.num_pes == 0:
+            return 0.0
+        return self.layer.macs / float(self.compute_steps * self.num_pes)
+
+    @property
+    def spatial_utilisation(self) -> float:
+        """Fraction of PEs that receive any work at all."""
+        if self.num_pes == 0:
+            return 0.0
+        return self.active_pes / float(self.num_pes)
+
+    def factor(self, dimension: str) -> int:
+        """Unrolling factor of ``dimension`` (1 when it is not unrolled)."""
+        return self.spatial_factors.get(dimension, 1)
+
+    def describe(self) -> str:
+        """One-line description used by reports and examples."""
+        factors = ", ".join(f"{dim}={val}" for dim, val in sorted(self.spatial_factors.items()))
+        return (
+            f"{self.layer.name} on {self.style.name}: {factors}; "
+            f"{self.active_pes}/{self.num_pes} PEs active, "
+            f"utilisation {self.utilisation:.1%}"
+        )
+
+
+def _layer_dim_sizes(layer: Layer) -> Dict[str, int]:
+    """Loop dimension sizes of a layer keyed by the dataflow dimension names."""
+    sizes = {
+        "K": layer.k,
+        "C": layer.c,
+        "OY": layer.out_y,
+        "OX": layer.out_x,
+        "R": layer.r,
+        "S": layer.s,
+    }
+    if layer.layer_type.is_depthwise:
+        # Depth-wise convolutions perform C * OY * OX * R * S MACs: the output
+        # channel loop coincides with the input channel loop.
+        sizes["K"] = 1
+    return sizes
+
+
+def _search_factors(dims: Sequence[Tuple[str, int, int]], budget: int
+                    ) -> Tuple[Dict[str, int], int]:
+    """Pick unrolling factors for ``dims`` that minimise the sequential steps.
+
+    ``dims`` carries (name, size, cap) triples where ``cap`` is the structural
+    unrolling limit of the dataflow for that dimension.  The search minimises
+    the product of ⌈size/factor⌉ over the spatial dimensions — i.e. it
+    maximises mapping utilisation, including edge (quantisation) effects — and
+    breaks ties in favour of fewer active PEs (less multicast fan-out for the
+    same speed).  It is exhaustive over a small candidate set per dimension,
+    recursing over at most three spatial dimensions.
+    """
+    best_factors: Dict[str, int] = {name: 1 for name, _, _ in dims}
+    best_steps: float = float("inf")
+    best_active = 1
+
+    def recurse(index: int, remaining_budget: int, chosen: Dict[str, int],
+                steps: int, active: int) -> None:
+        nonlocal best_factors, best_steps, best_active
+        if index == len(dims):
+            if steps < best_steps or (steps == best_steps and active < best_active):
+                best_steps = steps
+                best_active = active
+                best_factors = dict(chosen)
+            return
+        name, size, cap = dims[index]
+        limit = min(remaining_budget, cap)
+        for factor in _candidate_factors(size, limit):
+            chosen[name] = factor
+            recurse(index + 1, remaining_budget // factor, chosen,
+                    steps * math.ceil(size / factor), active * factor)
+        chosen.pop(name, None)
+
+    recurse(0, budget, {}, 1, 1)
+    return best_factors, best_active
+
+
+@lru_cache(maxsize=200_000)
+def _build_mapping_cached(layer: Layer, style: DataflowStyle, num_pes: int) -> Mapping:
+    dims = [
+        (name, size, style.unroll_cap(name) or num_pes)
+        for name, size in style.spatial_dims_for_layer(layer)
+    ]
+    spatial_factors, active = _search_factors(dims, num_pes)
+
+    sizes = _layer_dim_sizes(layer)
+    compute_steps = 1
+    for name, size in sizes.items():
+        factor = spatial_factors.get(name, 1)
+        compute_steps *= math.ceil(size / factor)
+
+    return Mapping(
+        layer=layer,
+        style=style,
+        spatial_factors=spatial_factors,
+        num_pes=num_pes,
+        compute_steps=compute_steps,
+        active_pes=active,
+    )
+
+
+def build_mapping(layer: Layer, style: DataflowStyle, num_pes: int) -> Mapping:
+    """Map ``layer`` onto ``num_pes`` PEs using dataflow ``style``.
+
+    Raises
+    ------
+    MappingError
+        If the PE budget is not a positive integer.
+    """
+    if not isinstance(num_pes, int) or num_pes < 1:
+        raise MappingError(f"cannot map layer {layer.name!r}: num_pes={num_pes!r} "
+                           "must be a positive integer")
+    return _build_mapping_cached(layer, style, num_pes)
+
+
+def mapping_cache_info():
+    """Expose the mapper cache statistics (useful when profiling DSE runs)."""
+    return _build_mapping_cached.cache_info()
+
+
+def clear_mapping_cache() -> None:
+    """Drop all memoised mappings (used by tests to measure cold behaviour)."""
+    _build_mapping_cached.cache_clear()

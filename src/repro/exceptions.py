@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such as
+``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class LayerDefinitionError(ReproError):
+    """A DNN layer was defined with inconsistent or non-physical dimensions."""
+
+
+class GraphError(ReproError):
+    """A model graph is malformed (cycles, unknown layer references, ...)."""
+
+
+class MappingError(ReproError):
+    """A dataflow mapping could not be constructed for a layer."""
+
+
+class HardwareConfigError(ReproError):
+    """An accelerator or sub-accelerator configuration is invalid."""
+
+
+class PartitionError(ReproError):
+    """A hardware resource partition violates the HDA definition constraints."""
+
+
+class SchedulingError(ReproError):
+    """A layer-execution schedule is invalid or could not be constructed."""
+
+
+class WorkloadError(ReproError):
+    """A multi-DNN workload specification is invalid."""
+
+
+class SearchError(ReproError):
+    """The design-space exploration was configured with invalid parameters."""

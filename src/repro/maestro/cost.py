@@ -1,0 +1,302 @@
+"""The cost model: per-layer latency and energy on a sub-accelerator.
+
+Latency follows a roofline over three resources (Sec. IV-B): the PE array
+(compute steps from the mapping), the sub-accelerator's share of the global
+NoC (tile traffic from/to the global buffer), and the chip's DRAM interface
+(off-chip traffic).  Energy is the access-count-weighted sum over the energy
+table — MAC, register file, local-buffer fills, global-NoC tile movement,
+global SRAM, and DRAM — exactly the MAESTRO activity-count methodology.
+
+The :class:`CostModel` facade caches per-(layer, dataflow, hardware) results,
+which is what makes Herald's hardware/schedule co-exploration tractable: a
+design-space sweep re-evaluates the same layers thousands of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import HardwareConfigError
+from repro.units import cycles_to_seconds, picojoules_to_millijoules
+from repro.dataflow.mapping import Mapping, build_mapping
+from repro.dataflow.styles import ALL_STYLES, DataflowStyle
+from repro.maestro.energy import DEFAULT_ENERGY_TABLE, EnergyTable
+from repro.maestro.hardware import SubAcceleratorConfig
+from repro.maestro.reuse import ReuseAnalysis, analyse_reuse
+from repro.models.layer import Layer
+
+#: Fixed pipeline fill / drain and control overhead charged to every layer, in
+#: cycles.  It keeps tiny layers from reporting zero latency and models the
+#: per-layer control handshaking of the execution model in Sec. IV-A.
+LAYER_OVERHEAD_CYCLES = 256
+
+#: Extra cycles an RDA spends reconfiguring its distribution network before a
+#: layer (Sec. I cites per-layer reconfiguration as one of the RDA costs).
+RDA_RECONFIGURATION_CYCLES = 2048
+
+#: Energy overhead factor applied to interconnect-related energy on RDAs,
+#: modelling the switches and wires of the reconfigurable fabric.
+RDA_INTERCONNECT_OVERHEAD = 1.6
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Latency and energy of one layer on one sub-accelerator.
+
+    All latencies are in cycles and seconds; energies are in picojoules with a
+    millijoule convenience accessor matching the units the paper plots.
+    """
+
+    layer: Layer
+    dataflow_name: str
+    num_pes: int
+    compute_cycles: float
+    noc_cycles: float
+    dram_cycles: float
+    overhead_cycles: float
+    energy_compute_pj: float
+    energy_rf_pj: float
+    energy_local_pj: float
+    energy_noc_pj: float
+    energy_sram_pj: float
+    energy_dram_pj: float
+    energy_overhead_pj: float
+    utilisation: float
+    clock_hz: float
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    @property
+    def latency_cycles(self) -> float:
+        """Roofline latency: the binding resource plus fixed overhead."""
+        return max(self.compute_cycles, self.noc_cycles, self.dram_cycles) + self.overhead_cycles
+
+    @property
+    def latency_s(self) -> float:
+        """Latency in seconds."""
+        return cycles_to_seconds(self.latency_cycles, self.clock_hz)
+
+    @property
+    def bound_by(self) -> str:
+        """Which resource the layer is bound by: compute, NoC, or DRAM."""
+        bounds = {
+            "compute": self.compute_cycles,
+            "noc": self.noc_cycles,
+            "dram": self.dram_cycles,
+        }
+        return max(bounds, key=bounds.get)
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+    @property
+    def energy_pj(self) -> float:
+        """Total energy in picojoules."""
+        return (
+            self.energy_compute_pj
+            + self.energy_rf_pj
+            + self.energy_local_pj
+            + self.energy_noc_pj
+            + self.energy_sram_pj
+            + self.energy_dram_pj
+            + self.energy_overhead_pj
+        )
+
+    @property
+    def energy_mj(self) -> float:
+        """Total energy in millijoules (the unit used in the paper's figures)."""
+        return picojoules_to_millijoules(self.energy_pj)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return (self.energy_pj * 1e-12) * self.latency_s
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Per-component energy in picojoules."""
+        return {
+            "compute": self.energy_compute_pj,
+            "rf": self.energy_rf_pj,
+            "local": self.energy_local_pj,
+            "noc": self.energy_noc_pj,
+            "sram": self.energy_sram_pj,
+            "dram": self.energy_dram_pj,
+            "overhead": self.energy_overhead_pj,
+        }
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return (
+            f"{self.layer.name} on {self.dataflow_name} ({self.num_pes} PEs): "
+            f"{self.latency_s * 1e3:.3f} ms, {self.energy_mj:.3f} mJ, "
+            f"util {self.utilisation:.1%}, bound by {self.bound_by}"
+        )
+
+
+def _estimate(layer: Layer, style: DataflowStyle, num_pes: int,
+              bandwidth_bytes_per_cycle: float, dram_bytes_per_cycle: float,
+              buffer_bytes: int, clock_hz: float, energy_table: EnergyTable,
+              reconfigurable: bool) -> LayerCost:
+    """Estimate one layer on one concrete array configuration."""
+    mapping: Mapping = build_mapping(layer, style, num_pes)
+    reuse: ReuseAnalysis = analyse_reuse(mapping, buffer_bytes)
+
+    compute_cycles = float(mapping.compute_steps)
+    noc_cycles = reuse.noc_tile_bytes / bandwidth_bytes_per_cycle
+    dram_cycles = reuse.dram_bytes / dram_bytes_per_cycle
+    overhead_cycles = float(LAYER_OVERHEAD_CYCLES)
+
+    table = energy_table
+    energy_overhead = 0.0
+    if reconfigurable:
+        table = energy_table.with_interconnect_overhead(RDA_INTERCONNECT_OVERHEAD)
+        overhead_cycles += RDA_RECONFIGURATION_CYCLES
+        energy_overhead = (energy_table.reconfiguration
+                           + layer.macs * energy_table.rda_distribution_per_mac)
+
+    energy_compute = layer.macs * table.mac
+    energy_rf = reuse.rf_accesses * table.rf_access
+    energy_local = reuse.local_fills * table.local_buffer_access
+    energy_noc = reuse.noc_tile_elements * table.noc_hop
+    energy_sram = reuse.noc_tile_elements * table.sram_access
+    energy_dram = reuse.dram_accesses * table.dram_access
+
+    return LayerCost(
+        layer=layer,
+        dataflow_name=style.name,
+        num_pes=num_pes,
+        compute_cycles=compute_cycles,
+        noc_cycles=noc_cycles,
+        dram_cycles=dram_cycles,
+        overhead_cycles=overhead_cycles,
+        energy_compute_pj=energy_compute,
+        energy_rf_pj=energy_rf,
+        energy_local_pj=energy_local,
+        energy_noc_pj=energy_noc,
+        energy_sram_pj=energy_sram,
+        energy_dram_pj=energy_dram,
+        energy_overhead_pj=energy_overhead,
+        utilisation=mapping.utilisation,
+        clock_hz=clock_hz,
+    )
+
+
+class CostModel:
+    """Facade over the analytical model with memoisation.
+
+    Parameters
+    ----------
+    energy_table:
+        Per-access energy table; defaults to :data:`DEFAULT_ENERGY_TABLE`.
+    rda_styles:
+        Dataflow styles a reconfigurable accelerator may choose from when a
+        sub-accelerator is marked reconfigurable (``dataflow is None``).
+    """
+
+    def __init__(self, energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
+                 rda_styles: Sequence[DataflowStyle] = ALL_STYLES) -> None:
+        self.energy_table = energy_table
+        self.rda_styles: Tuple[DataflowStyle, ...] = tuple(rda_styles)
+        self._cache: Dict[Tuple, LayerCost] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def layer_cost(self, layer: Layer, sub_accelerator: SubAcceleratorConfig) -> LayerCost:
+        """Latency/energy of ``layer`` on ``sub_accelerator``.
+
+        For a reconfigurable sub-accelerator the best dataflow (lowest EDP) is
+        chosen per layer and the RDA reconfiguration overheads are charged.
+        """
+        key = self._key(layer, sub_accelerator)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        if sub_accelerator.is_reconfigurable:
+            cost = min(
+                (
+                    self._estimate_on(layer, style, sub_accelerator, reconfigurable=True)
+                    for style in self.rda_styles
+                ),
+                key=lambda c: c.edp,
+            )
+        else:
+            cost = self._estimate_on(layer, sub_accelerator.dataflow, sub_accelerator,
+                                     reconfigurable=False)
+        self._cache[key] = cost
+        return cost
+
+    def layer_cost_with_style(self, layer: Layer, style: DataflowStyle,
+                              sub_accelerator: SubAcceleratorConfig) -> LayerCost:
+        """Cost of ``layer`` on ``sub_accelerator`` forced to use ``style``."""
+        return self._estimate_on(layer, style, sub_accelerator,
+                                 reconfigurable=sub_accelerator.is_reconfigurable)
+
+    def best_style(self, layer: Layer, sub_accelerator: SubAcceleratorConfig,
+                   metric: str = "edp") -> Tuple[DataflowStyle, LayerCost]:
+        """The preferred dataflow style for ``layer`` on the given array size."""
+        scored = []
+        for style in self.rda_styles:
+            cost = self._estimate_on(layer, style, sub_accelerator, reconfigurable=False)
+            scored.append((style, cost))
+        return min(scored, key=lambda pair: metric_value(pair[1], metric))
+
+    def cache_size(self) -> int:
+        """Number of memoised (layer, hardware) cost entries."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all memoised results."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _estimate_on(self, layer: Layer, style: Optional[DataflowStyle],
+                     sub_accelerator: SubAcceleratorConfig,
+                     reconfigurable: bool) -> LayerCost:
+        if style is None:
+            raise HardwareConfigError(
+                f"sub-accelerator {sub_accelerator.name!r} has no dataflow and no "
+                "style was supplied"
+            )
+        return _estimate(
+            layer=layer,
+            style=style,
+            num_pes=sub_accelerator.num_pes,
+            bandwidth_bytes_per_cycle=sub_accelerator.bandwidth_bytes_per_cycle,
+            dram_bytes_per_cycle=sub_accelerator.dram_bandwidth_bytes_per_cycle,
+            buffer_bytes=sub_accelerator.buffer_bytes,
+            clock_hz=sub_accelerator.clock_hz,
+            energy_table=self.energy_table,
+            reconfigurable=reconfigurable,
+        )
+
+    def _key(self, layer: Layer, sub_accelerator: SubAcceleratorConfig) -> Tuple:
+        dataflow_name = sub_accelerator.dataflow.name if sub_accelerator.dataflow else None
+        return (
+            layer,
+            dataflow_name,
+            sub_accelerator.num_pes,
+            round(sub_accelerator.bandwidth_bytes_per_s),
+            sub_accelerator.buffer_bytes,
+            sub_accelerator.clock_hz,
+        )
+
+
+def metric_value(cost: LayerCost, metric: str) -> float:
+    """Extract an optimisation metric from a :class:`LayerCost`.
+
+    Supported metrics mirror the user-selectable objectives in Herald:
+    ``"edp"``, ``"latency"``, ``"energy"``.
+    """
+    if metric == "edp":
+        return cost.edp
+    if metric == "latency":
+        return cost.latency_s
+    if metric == "energy":
+        return cost.energy_pj
+    raise ValueError(f"unknown metric {metric!r}; expected 'edp', 'latency', or 'energy'")

@@ -1,0 +1,182 @@
+"""Hardware descriptions consumed by the cost model.
+
+Two levels are modelled, mirroring Fig. 3(c) of the paper:
+
+* a :class:`SubAcceleratorConfig` — one fixed-dataflow PE array with its share
+  of the global NoC bandwidth and of the global buffer; and
+* a :class:`ChipConfig` — the chip-level envelope (total PEs, total NoC
+  bandwidth, global buffer capacity, DRAM bandwidth, clock) that partitions are
+  checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.exceptions import HardwareConfigError
+from repro.units import BYTES_PER_ELEMENT, DEFAULT_CLOCK_HZ, bytes_per_cycle
+from repro.dataflow.styles import DataflowStyle
+
+
+@dataclass(frozen=True)
+class SubAcceleratorConfig:
+    """One sub-accelerator: a PE array running a single dataflow style.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by schedules and reports (e.g. ``"acc0-nvdla"``).
+    dataflow:
+        The dataflow style this array runs, or ``None`` for a reconfigurable
+        array that may pick a different style per layer (RDA modelling).
+    num_pes:
+        Number of processing elements.
+    bandwidth_bytes_per_s:
+        Share of the global NoC bandwidth dedicated to this sub-accelerator.
+    buffer_bytes:
+        Share of the global scratchpad available for this sub-accelerator's
+        working set (used for tile-refetch estimation).
+    dram_bandwidth_bytes_per_s:
+        Bandwidth of the chip's DRAM interface seen by this sub-accelerator;
+        unlike the NoC share it is not hard-partitioned, so it defaults to the
+        chip-level value (or, if unset, to the NoC share).
+    clock_hz:
+        Operating frequency.
+    """
+
+    name: str
+    dataflow: Optional[DataflowStyle]
+    num_pes: int
+    bandwidth_bytes_per_s: float
+    buffer_bytes: int
+    dram_bandwidth_bytes_per_s: Optional[float] = None
+    clock_hz: float = DEFAULT_CLOCK_HZ
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise HardwareConfigError(
+                f"sub-accelerator {self.name!r}: num_pes must be >= 1 (got {self.num_pes})"
+            )
+        if self.bandwidth_bytes_per_s <= 0:
+            raise HardwareConfigError(
+                f"sub-accelerator {self.name!r}: bandwidth must be positive "
+                f"(got {self.bandwidth_bytes_per_s})"
+            )
+        if self.buffer_bytes <= 0:
+            raise HardwareConfigError(
+                f"sub-accelerator {self.name!r}: buffer size must be positive "
+                f"(got {self.buffer_bytes})"
+            )
+        if self.clock_hz <= 0:
+            raise HardwareConfigError(
+                f"sub-accelerator {self.name!r}: clock must be positive (got {self.clock_hz})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_reconfigurable(self) -> bool:
+        """Whether the array may choose a different dataflow per layer."""
+        return self.dataflow is None
+
+    @property
+    def bandwidth_bytes_per_cycle(self) -> float:
+        """NoC bandwidth expressed in bytes per clock cycle."""
+        return bytes_per_cycle(self.bandwidth_bytes_per_s, self.clock_hz)
+
+    @property
+    def dram_bandwidth_bytes_per_cycle(self) -> float:
+        """Effective DRAM bandwidth in bytes per clock cycle."""
+        dram = self.dram_bandwidth_bytes_per_s
+        if dram is None:
+            dram = self.bandwidth_bytes_per_s
+        return bytes_per_cycle(dram, self.clock_hz)
+
+    @property
+    def buffer_elements(self) -> int:
+        """Buffer capacity in tensor elements."""
+        return self.buffer_bytes // BYTES_PER_ELEMENT
+
+    def with_dataflow(self, dataflow: Optional[DataflowStyle]) -> "SubAcceleratorConfig":
+        """Return a copy running a different dataflow style."""
+        return replace(self, dataflow=dataflow)
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        dataflow_name = self.dataflow.name if self.dataflow else "reconfigurable"
+        return (
+            f"{self.name}: {self.num_pes} PEs, "
+            f"{self.bandwidth_bytes_per_s / 1e9:.1f} GB/s, "
+            f"{self.buffer_bytes / (1 << 20):.1f} MiB buffer, {dataflow_name}"
+        )
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Chip-level resource envelope (Table IV accelerator classes).
+
+    Attributes
+    ----------
+    name:
+        Class name (``"edge"``, ``"mobile"``, ``"cloud"`` or a custom label).
+    num_pes:
+        Total PEs available to distribute across sub-accelerators.
+    noc_bandwidth_bytes_per_s:
+        Total global NoC bandwidth to distribute across sub-accelerators.
+    global_buffer_bytes:
+        Shared global scratchpad capacity.
+    dram_bandwidth_bytes_per_s:
+        Off-chip bandwidth; by default equal to the NoC bandwidth.
+    clock_hz:
+        Operating frequency.
+    """
+
+    name: str
+    num_pes: int
+    noc_bandwidth_bytes_per_s: float
+    global_buffer_bytes: int
+    dram_bandwidth_bytes_per_s: Optional[float] = None
+    clock_hz: float = DEFAULT_CLOCK_HZ
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise HardwareConfigError(f"chip {self.name!r}: num_pes must be >= 1")
+        if self.noc_bandwidth_bytes_per_s <= 0:
+            raise HardwareConfigError(f"chip {self.name!r}: NoC bandwidth must be positive")
+        if self.global_buffer_bytes <= 0:
+            raise HardwareConfigError(f"chip {self.name!r}: global buffer must be positive")
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Effective DRAM bandwidth (defaults to the NoC bandwidth)."""
+        if self.dram_bandwidth_bytes_per_s is None:
+            return self.noc_bandwidth_bytes_per_s
+        return self.dram_bandwidth_bytes_per_s
+
+    def monolithic(self, dataflow: Optional[DataflowStyle], name: Optional[str] = None
+                   ) -> SubAcceleratorConfig:
+        """Build a single sub-accelerator that uses the entire chip.
+
+        This is how FDAs and RDAs are expressed: one array with all PEs, all
+        bandwidth, and the whole global buffer.
+        """
+        label = name or (f"{self.name}-{dataflow.name}" if dataflow else f"{self.name}-rda")
+        return SubAcceleratorConfig(
+            name=label,
+            dataflow=dataflow,
+            num_pes=self.num_pes,
+            bandwidth_bytes_per_s=self.noc_bandwidth_bytes_per_s,
+            buffer_bytes=self.global_buffer_bytes,
+            dram_bandwidth_bytes_per_s=self.dram_bandwidth,
+            clock_hz=self.clock_hz,
+        )
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return (
+            f"{self.name}: {self.num_pes} PEs, "
+            f"{self.noc_bandwidth_bytes_per_s / 1e9:.0f} GB/s NoC, "
+            f"{self.global_buffer_bytes / (1 << 20):.0f} MiB global buffer"
+        )

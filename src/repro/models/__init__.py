@@ -1,0 +1,23 @@
+"""DNN model substrate: layer descriptions, dependence graphs, and a model zoo.
+
+The cost model and scheduler only need the *shape* of every layer (tensor
+dimensions and operator type) plus the dependence structure between layers, so
+models are described analytically rather than with framework weights.
+
+Public API
+----------
+:class:`~repro.models.layer.Layer`
+    A single DNN operator with its tensor dimensions.
+:class:`~repro.models.layer.LayerType`
+    Operator taxonomy used throughout the library.
+:class:`~repro.models.graph.ModelGraph`
+    A DNN model: named layers plus dependence edges.
+:mod:`repro.models.zoo`
+    Builders for every model evaluated in the paper (Table I and Table II).
+"""
+
+from repro.models.layer import Layer, LayerType
+from repro.models.graph import ModelGraph
+from repro.models import zoo
+
+__all__ = ["Layer", "LayerType", "ModelGraph", "zoo"]

@@ -1,0 +1,210 @@
+"""Model graphs: layers plus dependence edges.
+
+The scheduler in the paper exploits two structural properties of multi-DNN
+workloads (Sec. IV-D): layers form a mostly-linear dependence chain inside a
+model, and layers of different models are independent.  :class:`ModelGraph`
+supports arbitrary DAGs (skip connections, concatenations) but exposes the
+linearised *dependence order* that Herald's heuristics operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.models.layer import Layer, layer_heterogeneity
+
+
+@dataclass
+class ModelGraph:
+    """A DNN model: an ordered collection of layers plus dependence edges.
+
+    Layers are identified by their (unique within the model) names.  Edges go
+    from producer to consumer.  If no edge is ever added explicitly, a call to
+    :meth:`chain` links the layers in insertion order, which matches how the
+    model-zoo builders describe sequential networks.
+    """
+
+    name: str
+    _layers: Dict[str, Layer] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+    _successors: Dict[str, Set[str]] = field(default_factory=dict)
+    _predecessors: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_layer(self, layer: Layer) -> Layer:
+        """Add ``layer`` to the graph and return it.
+
+        The layer's ``model_name`` is rewritten to the graph name so workloads
+        can always attribute a layer to its model.
+        """
+        if layer.name in self._layers:
+            raise GraphError(f"model {self.name!r}: duplicate layer name {layer.name!r}")
+        layer = layer.renamed(layer.name, model_name=self.name)
+        self._layers[layer.name] = layer
+        self._order.append(layer.name)
+        self._successors.setdefault(layer.name, set())
+        self._predecessors.setdefault(layer.name, set())
+        return layer
+
+    def add_edge(self, producer: str, consumer: str) -> None:
+        """Add a dependence edge from ``producer`` to ``consumer``."""
+        for endpoint in (producer, consumer):
+            if endpoint not in self._layers:
+                raise GraphError(
+                    f"model {self.name!r}: unknown layer {endpoint!r} in edge "
+                    f"({producer!r} -> {consumer!r})"
+                )
+        if producer == consumer:
+            raise GraphError(f"model {self.name!r}: self-edge on {producer!r}")
+        self._successors[producer].add(consumer)
+        self._predecessors[consumer].add(producer)
+        if self._has_cycle():
+            self._successors[producer].discard(consumer)
+            self._predecessors[consumer].discard(producer)
+            raise GraphError(
+                f"model {self.name!r}: edge ({producer!r} -> {consumer!r}) creates a cycle"
+            )
+
+    def chain(self) -> None:
+        """Link layers in insertion order (layer i depends on layer i-1)."""
+        for previous, current in zip(self._order, self._order[1:]):
+            if current not in self._successors[previous]:
+                self.add_edge(previous, current)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __contains__(self, layer_name: str) -> bool:
+        return layer_name in self._layers
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    @property
+    def layers(self) -> List[Layer]:
+        """Layers in insertion order."""
+        return [self._layers[name] for name in self._order]
+
+    def layer(self, name: str) -> Layer:
+        """Return the layer called ``name``."""
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise GraphError(f"model {self.name!r}: no layer named {name!r}") from None
+
+    def predecessors(self, name: str) -> List[Layer]:
+        """Producers that ``name`` depends on."""
+        self.layer(name)
+        return [self._layers[p] for p in sorted(self._predecessors[name])]
+
+    def successors(self, name: str) -> List[Layer]:
+        """Consumers that depend on ``name``."""
+        self.layer(name)
+        return [self._layers[s] for s in sorted(self._successors[name])]
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All dependence edges as (producer, consumer) pairs."""
+        return [
+            (producer, consumer)
+            for producer in self._order
+            for consumer in sorted(self._successors[producer])
+        ]
+
+    # ------------------------------------------------------------------
+    # Orders and statistics
+    # ------------------------------------------------------------------
+    def dependence_order(self) -> List[Layer]:
+        """Topological order of the layers, stable with respect to insertion order.
+
+        This is the linearised order the Herald scheduler consumes: executing
+        layers in this order never violates a dependence.
+        """
+        in_degree = {name: len(self._predecessors[name]) for name in self._order}
+        ready = [name for name in self._order if in_degree[name] == 0]
+        result: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            result.append(current)
+            for successor in sorted(self._successors[current]):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    # Preserve insertion order among newly-ready layers.
+                    ready.append(successor)
+                    ready.sort(key=self._order.index)
+        if len(result) != len(self._order):
+            raise GraphError(f"model {self.name!r}: dependence graph contains a cycle")
+        return [self._layers[name] for name in result]
+
+    def _has_cycle(self) -> bool:
+        try:
+            self.dependence_order()
+        except GraphError:
+            return True
+        return False
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulate count of the model."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_parameters(self) -> int:
+        """Total filter-weight elements of the model."""
+        return sum(layer.filter_elements for layer in self.layers)
+
+    def heterogeneity(self) -> Dict[str, float]:
+        """Channel-activation ratio statistics (Table I style)."""
+        return layer_heterogeneity(self.layers)
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        stats = self.heterogeneity()
+        lines = [
+            f"Model {self.name}: {len(self)} layers, "
+            f"{self.total_macs / 1e9:.2f} GMACs, "
+            f"{self.total_parameters / 1e6:.2f} M parameters",
+            "  channel-activation ratio: "
+            f"min={stats['min']:.3f} median={stats['median']:.3f} max={stats['max']:.3f}",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_layers(cls, name: str, layers: Sequence[Layer],
+                    sequential: bool = True) -> "ModelGraph":
+        """Build a graph from an ordered layer list.
+
+        When ``sequential`` is true (the default) consecutive layers are linked
+        by dependence edges, which is the linear-chain structure the paper's
+        scheduling heuristics assume.
+        """
+        graph = cls(name=name)
+        for layer in layers:
+            graph.add_layer(layer)
+        if sequential:
+            graph.chain()
+        return graph
+
+    def subgraph(self, layer_names: Iterable[str], name: str | None = None) -> "ModelGraph":
+        """Return the induced subgraph on ``layer_names`` (insertion order kept)."""
+        wanted = set(layer_names)
+        unknown = wanted - set(self._order)
+        if unknown:
+            raise GraphError(f"model {self.name!r}: unknown layers {sorted(unknown)!r}")
+        graph = ModelGraph(name=name or f"{self.name}-sub")
+        for layer_name in self._order:
+            if layer_name in wanted:
+                graph.add_layer(self._layers[layer_name])
+        for producer, consumer in self.edges():
+            if producer in wanted and consumer in wanted:
+                graph.add_edge(producer, consumer)
+        return graph

@@ -1,0 +1,71 @@
+"""Model zoo: builders for every DNN evaluated in the paper.
+
+Each builder returns a fresh :class:`~repro.models.graph.ModelGraph` whose
+layers carry realistic tensor shapes.  Table I models (AR/VR sub-tasks) and the
+MLPerf inference models (Table II) are both covered.
+
+Where a model's exact architecture is not public (Br-Q HandposeNet,
+Focal-Length DepthNet), a synthetic architecture is constructed to match the
+channel-activation-ratio statistics the paper reports; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.graph import ModelGraph
+from repro.models.zoo.resnet import build_resnet50, build_resnet34_backbone
+from repro.models.zoo.mobilenet_v2 import build_mobilenet_v2
+from repro.models.zoo.mobilenet_v1 import build_mobilenet_v1
+from repro.models.zoo.unet import build_unet
+from repro.models.zoo.handpose import build_brq_handpose
+from repro.models.zoo.depthnet import build_focal_length_depthnet
+from repro.models.zoo.ssd import build_ssd_resnet34, build_ssd_mobilenet_v1
+from repro.models.zoo.gnmt import build_gnmt
+
+#: Registry of model builders keyed by the canonical model name used in the
+#: workload suites (Table II).
+MODEL_BUILDERS: Dict[str, Callable[[], ModelGraph]] = {
+    "resnet50": build_resnet50,
+    "mobilenet_v2": build_mobilenet_v2,
+    "mobilenet_v1": build_mobilenet_v1,
+    "unet": build_unet,
+    "brq_handpose": build_brq_handpose,
+    "focal_depthnet": build_focal_length_depthnet,
+    "ssd_resnet34": build_ssd_resnet34,
+    "ssd_mobilenet_v1": build_ssd_mobilenet_v1,
+    "gnmt": build_gnmt,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str) -> ModelGraph:
+    """Build the model called ``name`` (see :func:`available_models`)."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available models: {', '.join(available_models())}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "available_models",
+    "build_model",
+    "build_resnet50",
+    "build_resnet34_backbone",
+    "build_mobilenet_v2",
+    "build_mobilenet_v1",
+    "build_unet",
+    "build_brq_handpose",
+    "build_focal_length_depthnet",
+    "build_ssd_resnet34",
+    "build_ssd_mobilenet_v1",
+    "build_gnmt",
+]

@@ -1,0 +1,54 @@
+"""Focal-Length DepthNet builder (depth-estimation model of Table I).
+
+The published model (He et al., "Learning depth from single images with deep
+neural network embedding focal length") is an encoder-decoder with
+fully-connected layers in the middle.  This synthetic reconstruction matches
+the statistics the paper relies on: a maximum channel-activation ratio of 4096
+and a second FC layer whose channel parallelism (K x C) is ~16.8 M, i.e. a
+4096 x 4096 fully-connected layer (Sec. V-B quotes 16.8 M as the maximum
+channel parallelism in the workload, coming from "FC layer 2" of this model).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, conv2d, fc, upconv
+
+
+def build_focal_length_depthnet(input_size: int = 224) -> ModelGraph:
+    """Build the synthetic Focal-Length DepthNet encoder-decoder."""
+    layers: List[Layer] = []
+
+    # Encoder: VGG-style down-sampling trunk.
+    encoder = [
+        ("enc1", 64, 2), ("enc2", 128, 2), ("enc3", 256, 2),
+        ("enc4", 512, 2), ("enc5", 512, 2),
+    ]
+    y = input_size
+    in_channels = 3
+    for name, out_channels, stride in encoder:
+        layers.append(conv2d(name, k=out_channels, c=in_channels,
+                             y=y + 2, x=y + 2, r=3, s=3, stride=stride))
+        y //= stride
+        in_channels = out_channels
+
+    # Fully-connected bottleneck that embeds the focal-length information.
+    flattened = in_channels * y * y
+    layers.append(fc("fc1", k=4096, c=flattened))
+    layers.append(fc("fc2", k=4096, c=4096))
+    layers.append(fc("fc3", k=in_channels * y * y, c=4096))
+
+    # Decoder: up-scale convolutions back to quarter resolution depth map.
+    decoder = [("dec1", 256), ("dec2", 128), ("dec3", 64), ("dec4", 32)]
+    for name, out_channels in decoder:
+        layers.append(upconv(f"{name}_up", k=out_channels, c=in_channels,
+                             y=y, x=y, r=2, s=2, upscale=2))
+        y *= 2
+        layers.append(conv2d(f"{name}_conv", k=out_channels, c=out_channels,
+                             y=y + 2, x=y + 2, r=3, s=3))
+        in_channels = out_channels
+
+    layers.append(conv2d("depth_head", k=1, c=in_channels, y=y + 2, x=y + 2, r=3, s=3))
+    return ModelGraph.from_layers("focal_depthnet", layers)

@@ -1,0 +1,47 @@
+"""GNMT builder (MLPerf RNN translation workload, Table II).
+
+GNMT is a sequence-to-sequence LSTM model.  The analytical cost model only
+needs tensor shapes, so each LSTM layer is represented by its recurrent GEMM
+(the four gates computed as one (4*hidden) x (input + hidden) matrix multiply)
+with the sequence length folded into the GEMM's N dimension, plus the attention
+and vocabulary-projection GEMMs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, gemm
+
+
+def build_gnmt(hidden: int = 1024, encoder_layers: int = 8, decoder_layers: int = 8,
+               sequence_length: int = 32, vocabulary: int = 32000) -> ModelGraph:
+    """Build GNMT as a chain of GEMM layers (embedding, LSTMs, attention, softmax)."""
+    layers: List[Layer] = []
+
+    # Source / target token embeddings.
+    layers.append(gemm("src_embedding", k=hidden, c=vocabulary, n=sequence_length))
+
+    # Encoder LSTM stack: the first layer is bidirectional in GNMT, modelled as
+    # a GEMM with a doubled input width.
+    for index in range(1, encoder_layers + 1):
+        input_width = 2 * hidden if index == 2 else hidden
+        layers.append(gemm(f"encoder_lstm{index}", k=4 * hidden,
+                           c=input_width + hidden, n=sequence_length))
+
+    layers.append(gemm("tgt_embedding", k=hidden, c=vocabulary, n=sequence_length))
+
+    # Decoder LSTM stack with attention context concatenated to the input.
+    for index in range(1, decoder_layers + 1):
+        input_width = 2 * hidden if index == 1 else hidden
+        layers.append(gemm(f"decoder_lstm{index}", k=4 * hidden,
+                           c=input_width + hidden, n=sequence_length))
+
+    # Attention score and context projections.
+    layers.append(gemm("attention_query", k=hidden, c=hidden, n=sequence_length))
+    layers.append(gemm("attention_context", k=hidden, c=2 * hidden, n=sequence_length))
+
+    # Vocabulary projection (the largest GEMM in the model).
+    layers.append(gemm("vocab_projection", k=vocabulary, c=hidden, n=sequence_length))
+    return ModelGraph.from_layers("gnmt", layers)

@@ -1,0 +1,46 @@
+"""Br-Q HandposeNet builder (hand-pose estimation model of Table I).
+
+The exact architecture of the hand-pose model referenced by the paper (Madadi
+et al.) is not public in full detail, so this is a synthetic CONV + FC network
+constructed to match the published shape statistics: channel-activation size
+ratio between ~0.016 and 1024 with a median of 1024, i.e. a shallow
+convolutional trunk over a depth image followed by several wide 1024-unit
+fully-connected layers that dominate the layer count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, conv2d, fc
+
+
+def build_brq_handpose(input_size: int = 192, num_joints: int = 20) -> ModelGraph:
+    """Build the synthetic Br-Q HandposeNet (convolutional trunk + FC head)."""
+    layers: List[Layer] = []
+    # Convolutional trunk over a single-channel depth image.
+    trunk = [
+        # (name, out channels, kernel, stride)
+        ("conv1", 32, 5, 2),
+        ("conv2", 64, 3, 2),
+        ("conv3", 128, 3, 2),
+        ("conv4", 256, 3, 2),
+        ("conv5", 256, 3, 2),
+    ]
+    y = input_size
+    in_channels = 1
+    for name, out_channels, kernel, stride in trunk:
+        pad = kernel - 1
+        layers.append(conv2d(name, k=out_channels, c=in_channels,
+                             y=y + pad, x=y + pad, r=kernel, s=kernel, stride=stride))
+        y //= stride
+        in_channels = out_channels
+
+    # Global-to-local fully-connected regression head (1024-wide, k/x ratio 1024).
+    flattened = in_channels * y * y
+    layers.append(fc("fc1", k=1024, c=flattened))
+    layers.append(fc("fc2", k=1024, c=1024))
+    layers.append(fc("fc3", k=1024, c=1024))
+    layers.append(fc("fc_joints", k=num_joints * 3, c=1024))
+    return ModelGraph.from_layers("brq_handpose", layers)

@@ -1,0 +1,47 @@
+"""MobileNetV1 builder (MLPerf inference edge classification model).
+
+MobileNetV1 stacks depth-wise separable convolutions: a 3x3 depth-wise layer
+followed by a 1x1 point-wise layer, thirteen times, then a classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, conv2d, dwconv, fc, pwconv
+
+#: (output channels of the point-wise layer, stride of the depth-wise layer)
+_SEPARABLE_CONFIG: List[Tuple[int, int]] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+
+
+def build_mobilenet_v1(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Build MobileNetV1 as a sequential dependence chain of 28 layers."""
+    layers: List[Layer] = []
+    layers.append(conv2d("conv_stem", k=32, c=3, y=input_size + 2, x=input_size + 2,
+                         r=3, s=3, stride=2))
+    y = input_size // 2
+    in_channels = 32
+    for index, (out_channels, stride) in enumerate(_SEPARABLE_CONFIG, start=1):
+        layers.append(dwconv(f"block{index}_dw", c=in_channels, y=y + 2, x=y + 2,
+                             r=3, s=3, stride=stride))
+        y = y // stride
+        layers.append(pwconv(f"block{index}_pw", k=out_channels, c=in_channels,
+                             y=y, x=y))
+        in_channels = out_channels
+    layers.append(fc("fc", k=num_classes, c=in_channels))
+    return ModelGraph.from_layers("mobilenet_v1", layers)

@@ -1,0 +1,54 @@
+"""MobileNetV2 builder (object detection / classification model of Table I).
+
+MobileNetV2 is built from inverted-residual blocks: a point-wise expansion, a
+depth-wise 3x3 convolution, and a point-wise projection.  The depth-wise layers
+do not accumulate across input channels, which is the canonical case where
+NVDLA-style channel-parallel dataflows under-utilise their PEs (Fig. 5,
+layer 3) and Shi-diannao-style activation-parallel dataflows shine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, conv2d, dwconv, fc, pwconv
+
+#: (expansion factor t, output channels c, repeats n, stride s) per stage,
+#: following Table 2 of the MobileNetV2 paper.
+_INVERTED_RESIDUAL_CONFIG: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def build_mobilenet_v2(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Build MobileNetV2 as a sequential dependence chain."""
+    layers: List[Layer] = []
+    layers.append(conv2d("conv_stem", k=32, c=3, y=input_size + 2, x=input_size + 2,
+                         r=3, s=3, stride=2))
+    y = input_size // 2
+    in_channels = 32
+    block_index = 0
+    for t, c, n, s in _INVERTED_RESIDUAL_CONFIG:
+        for repeat in range(n):
+            block_index += 1
+            stride = s if repeat == 0 else 1
+            expanded = in_channels * t
+            prefix = f"block{block_index}"
+            if t != 1:
+                layers.append(pwconv(f"{prefix}_expand", k=expanded, c=in_channels,
+                                     y=y, x=y))
+            layers.append(dwconv(f"{prefix}_dw", c=expanded, y=y + 2, x=y + 2,
+                                 r=3, s=3, stride=stride))
+            y = y // stride
+            layers.append(pwconv(f"{prefix}_project", k=c, c=expanded, y=y, x=y))
+            in_channels = c
+    layers.append(pwconv("conv_head", k=1280, c=in_channels, y=y, x=y))
+    layers.append(fc("fc", k=num_classes, c=1280))
+    return ModelGraph.from_layers("mobilenet_v2", layers)

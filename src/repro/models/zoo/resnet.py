@@ -1,0 +1,95 @@
+"""ResNet builders (ResNet50 classifier and ResNet34 backbone).
+
+ResNet50 is the object-classification model in Table I: early layers have
+high-resolution activations with shallow channels, late layers the opposite,
+and every stage ends with deep-channel 1x1 convolutions — the shape profile
+that favours NVDLA's channel-parallel dataflow (Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, conv2d, fc, pwconv
+
+
+def _bottleneck(layers: List[Layer], stage: int, block: int, in_channels: int,
+                mid_channels: int, out_channels: int, y: int, x: int,
+                stride: int) -> int:
+    """Append one ResNet50 bottleneck block (1x1 -> 3x3 -> 1x1 [+ projection])."""
+    prefix = f"stage{stage}_block{block}"
+    layers.append(pwconv(f"{prefix}_conv1", k=mid_channels, c=in_channels, y=y, x=x))
+    layers.append(conv2d(f"{prefix}_conv2", k=mid_channels, c=mid_channels,
+                         y=y + 2, x=x + 2, r=3, s=3, stride=stride))
+    out_y = y // stride
+    out_x = x // stride
+    layers.append(pwconv(f"{prefix}_conv3", k=out_channels, c=mid_channels,
+                         y=out_y, x=out_x))
+    if block == 1:
+        # Projection shortcut matches channel count / resolution of the residual path.
+        layers.append(pwconv(f"{prefix}_proj", k=out_channels, c=in_channels,
+                             y=out_y, x=out_x))
+    return out_y
+
+
+def _basic_block(layers: List[Layer], stage: int, block: int, in_channels: int,
+                 out_channels: int, y: int, x: int, stride: int) -> int:
+    """Append one ResNet34 basic block (3x3 -> 3x3 [+ projection])."""
+    prefix = f"stage{stage}_block{block}"
+    layers.append(conv2d(f"{prefix}_conv1", k=out_channels, c=in_channels,
+                         y=y + 2, x=x + 2, r=3, s=3, stride=stride))
+    out_y = y // stride
+    out_x = x // stride
+    layers.append(conv2d(f"{prefix}_conv2", k=out_channels, c=out_channels,
+                         y=out_y + 2, x=out_x + 2, r=3, s=3, stride=1))
+    if block == 1 and (stride != 1 or in_channels != out_channels):
+        layers.append(pwconv(f"{prefix}_proj", k=out_channels, c=in_channels,
+                             y=out_y, x=out_x))
+    return out_y
+
+
+def build_resnet50(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Build ResNet50 as a sequential dependence chain of 54+ layers."""
+    layers: List[Layer] = []
+    layers.append(conv2d("conv1", k=64, c=3, y=input_size + 6, x=input_size + 6,
+                         r=7, s=7, stride=2))
+    y = input_size // 4  # conv1 stride 2 followed by 3x3/2 max pooling
+    stage_config = [
+        # (blocks, mid channels, out channels, stride of first block)
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ]
+    in_channels = 64
+    for stage_index, (blocks, mid, out, first_stride) in enumerate(stage_config, start=1):
+        for block in range(1, blocks + 1):
+            stride = first_stride if block == 1 else 1
+            y = _bottleneck(layers, stage_index, block, in_channels, mid, out,
+                            y=y, x=y, stride=stride)
+            in_channels = out
+    layers.append(fc("fc", k=num_classes, c=in_channels))
+    return ModelGraph.from_layers("resnet50", layers)
+
+
+def build_resnet34_backbone(input_size: int = 300) -> ModelGraph:
+    """Build the ResNet34 feature extractor used as the SSD-large backbone."""
+    layers: List[Layer] = []
+    layers.append(conv2d("conv1", k=64, c=3, y=input_size + 6, x=input_size + 6,
+                         r=7, s=7, stride=2))
+    y = input_size // 4
+    stage_config = [
+        (3, 64, 1),
+        (4, 128, 2),
+        (6, 256, 2),
+        (3, 512, 2),
+    ]
+    in_channels = 64
+    for stage_index, (blocks, out, first_stride) in enumerate(stage_config, start=1):
+        for block in range(1, blocks + 1):
+            stride = first_stride if block == 1 else 1
+            y = _basic_block(layers, stage_index, block, in_channels, out,
+                             y=y, x=y, stride=stride)
+            in_channels = out
+    return ModelGraph.from_layers("resnet34_backbone", layers)

@@ -1,0 +1,78 @@
+"""SSD detector builders (MLPerf inference object-detection models).
+
+Both MLPerf detectors are modelled as a backbone feature extractor followed by
+extra down-sampling feature layers and per-scale class/box prediction heads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, conv2d, dwconv, pwconv
+from repro.models.zoo.mobilenet_v1 import build_mobilenet_v1
+from repro.models.zoo.resnet import build_resnet34_backbone
+
+
+def _ssd_extras_and_heads(layers: List[Layer], feature_maps: List[Tuple[int, int]],
+                          num_classes: int, anchors_per_cell: int = 6) -> None:
+    """Append SSD extra feature layers and detection heads.
+
+    ``feature_maps`` is a list of (channels, spatial size) pairs describing the
+    multi-scale feature pyramid the heads operate on.
+    """
+    for index, (channels, size) in enumerate(feature_maps, start=1):
+        layers.append(conv2d(f"head{index}_cls", k=anchors_per_cell * num_classes,
+                             c=channels, y=size + 2, x=size + 2, r=3, s=3))
+        layers.append(conv2d(f"head{index}_box", k=anchors_per_cell * 4,
+                             c=channels, y=size + 2, x=size + 2, r=3, s=3))
+
+
+def build_ssd_resnet34(input_size: int = 300, num_classes: int = 81) -> ModelGraph:
+    """Build SSD with a ResNet34 backbone (MLPerf SSD-large style)."""
+    backbone = build_resnet34_backbone(input_size=input_size)
+    layers: List[Layer] = list(backbone.layers)
+
+    # Extra feature layers shrinking the map from 10x10 down to 1x1.
+    extras = [
+        # (name, in channels, out channels, spatial size before conv, stride)
+        ("extra1_a", 512, 256, 10, 1), ("extra1_b", 256, 512, 12, 2),
+        ("extra2_a", 512, 256, 6, 1), ("extra2_b", 256, 512, 8, 2),
+        ("extra3_a", 512, 128, 4, 1), ("extra3_b", 128, 256, 5, 2),
+    ]
+    for name, c_in, c_out, size, stride in extras:
+        if stride == 1:
+            layers.append(pwconv(name, k=c_out, c=c_in, y=size, x=size))
+        else:
+            layers.append(conv2d(name, k=c_out, c=c_in, y=size, x=size,
+                                 r=3, s=3, stride=stride))
+
+    feature_maps = [(512, 38), (512, 19), (512, 10), (512, 5), (256, 3), (256, 1)]
+    _ssd_extras_and_heads(layers, feature_maps, num_classes)
+    return ModelGraph.from_layers("ssd_resnet34", layers)
+
+
+def build_ssd_mobilenet_v1(input_size: int = 300, num_classes: int = 91) -> ModelGraph:
+    """Build SSD-MobileNetV1 (MLPerf SSD-small style)."""
+    backbone = build_mobilenet_v1(input_size=input_size)
+    # Drop the classifier; keep the convolutional trunk as the backbone.
+    layers: List[Layer] = [layer for layer in backbone.layers
+                           if layer.layer_type.value != "FC"]
+
+    # Extra depth-wise separable feature layers.
+    extras = [
+        ("extra1", 1024, 512, 10, 2),
+        ("extra2", 512, 256, 5, 2),
+        ("extra3", 256, 256, 3, 2),
+        ("extra4", 256, 128, 2, 1),
+    ]
+    for name, c_in, c_out, size, stride in extras:
+        layers.append(pwconv(f"{name}_pw1", k=c_out // 2, c=c_in, y=size, x=size))
+        layers.append(dwconv(f"{name}_dw", c=c_out // 2, y=size + 2, x=size + 2,
+                             r=3, s=3, stride=stride))
+        layers.append(pwconv(f"{name}_pw2", k=c_out, c=c_out // 2,
+                             y=max(size // stride, 1), x=max(size // stride, 1)))
+
+    feature_maps = [(512, 19), (1024, 10), (512, 5), (256, 3), (256, 2), (128, 1)]
+    _ssd_extras_and_heads(layers, feature_maps, num_classes)
+    return ModelGraph.from_layers("ssd_mobilenet_v1", layers)

@@ -1,0 +1,70 @@
+"""UNet builder (hand tracking / segmentation model of Table I).
+
+UNet is the canonical segmentation network of the paper: the encoder halves the
+activation resolution while doubling channels, and the decoder restores the
+resolution with up-scale convolutions followed by double 3x3 convolutions.  Its
+early and late layers therefore have huge activations with few channels — the
+shape regime where activation-parallel dataflows (Shi-diannao, Eyeriss) win and
+NVDLA's channel-parallel dataflow collapses (Fig. 2b).
+
+The default input resolution of 572x572 matches the original UNet paper and
+gives a first-layer activation parallelism of ~325 K output pixels, close to
+the 334.1 K maximum activation parallelism quoted in Sec. V-B.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, conv2d, pwconv, upconv
+
+
+def _double_conv(layers: List[Layer], prefix: str, in_channels: int,
+                 out_channels: int, y: int) -> int:
+    """Append two valid (unpadded) 3x3 convolutions; return the output size."""
+    layers.append(conv2d(f"{prefix}_conv1", k=out_channels, c=in_channels,
+                         y=y, x=y, r=3, s=3))
+    y = y - 2
+    layers.append(conv2d(f"{prefix}_conv2", k=out_channels, c=out_channels,
+                         y=y, x=y, r=3, s=3))
+    return y - 2
+
+
+def build_unet(input_size: int = 572, base_channels: int = 64,
+               num_classes: int = 2) -> ModelGraph:
+    """Build UNet (4 encoder levels, bottleneck, 4 decoder levels, 1x1 head)."""
+    layers: List[Layer] = []
+    encoder_sizes: List[int] = []
+    encoder_channels: List[int] = []
+
+    # Encoder: double conv then 2x2 max pooling (pooling is free in the cost model).
+    y = input_size
+    in_channels = 3
+    channels = base_channels
+    for level in range(1, 5):
+        y = _double_conv(layers, f"enc{level}", in_channels, channels, y)
+        encoder_sizes.append(y)
+        encoder_channels.append(channels)
+        in_channels = channels
+        channels *= 2
+        y //= 2
+
+    # Bottleneck.
+    y = _double_conv(layers, "bottleneck", in_channels, channels, y)
+    in_channels = channels
+
+    # Decoder: up-scale convolution, concatenation with the skip connection
+    # (modelled as extra input channels), then double conv.
+    for level in range(4, 0, -1):
+        skip_channels = encoder_channels[level - 1]
+        out_channels = in_channels // 2
+        layers.append(upconv(f"dec{level}_up", k=out_channels, c=in_channels,
+                             y=y, x=y, r=2, s=2, upscale=2))
+        y *= 2
+        y = _double_conv(layers, f"dec{level}", out_channels + skip_channels,
+                         out_channels, y)
+        in_channels = out_channels
+
+    layers.append(pwconv("head", k=num_classes, c=in_channels, y=y, x=y))
+    return ModelGraph.from_layers("unet", layers)

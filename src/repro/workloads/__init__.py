@@ -1,0 +1,22 @@
+"""Multi-DNN workload specifications and the Table II evaluation suites."""
+
+from repro.workloads.spec import ModelInstance, WorkloadSpec
+from repro.workloads.suites import (
+    WORKLOAD_SUITES,
+    arvr_a,
+    arvr_b,
+    mlperf,
+    single_model,
+    workload_by_name,
+)
+
+__all__ = [
+    "ModelInstance",
+    "WorkloadSpec",
+    "WORKLOAD_SUITES",
+    "arvr_a",
+    "arvr_b",
+    "mlperf",
+    "single_model",
+    "workload_by_name",
+]

@@ -1,0 +1,180 @@
+"""Workload specification: a set of DNN models with per-model batch counts.
+
+Following Table II, a workload is a list of (model, number of batches).  Each
+batch is an independent inference request, so it becomes an independent
+*model instance* with its own dependence chain; instances of different models
+(and different batches of the same model) can execute in parallel on different
+sub-accelerators, which is the layer parallelism HDAs exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.models.graph import ModelGraph
+from repro.models.layer import Layer, layer_heterogeneity
+from repro.models.zoo import build_model
+
+
+@dataclass(frozen=True)
+class ModelInstance:
+    """One independent inference request of one model.
+
+    Attributes
+    ----------
+    instance_id:
+        Unique identifier within the workload, e.g. ``"unet#2"``.
+    model:
+        The model graph (shared between batches of the same model).
+    """
+
+    instance_id: str
+    model: ModelGraph
+
+    @property
+    def model_name(self) -> str:
+        """Name of the underlying model."""
+        return self.model.name
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers in the instance."""
+        return len(self.model)
+
+    def layers_in_dependence_order(self) -> List[Layer]:
+        """Layers of this instance in a dependence-respecting order."""
+        return self.model.dependence_order()
+
+
+@dataclass
+class WorkloadSpec:
+    """A heterogeneous multi-DNN workload (Table II row).
+
+    Parameters
+    ----------
+    name:
+        Workload name, e.g. ``"arvr-a"``.
+    entries:
+        ``(model_name, batches)`` pairs.  Models are built lazily through the
+        zoo registry the first time :meth:`instances` is called.
+    models:
+        Optional pre-built model graphs keyed by model name; overrides the zoo
+        for custom models.
+    """
+
+    name: str
+    entries: List[Tuple[str, int]] = field(default_factory=list)
+    models: Dict[str, ModelGraph] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise WorkloadError(f"workload {self.name!r} has no model entries")
+        for model_name, batches in self.entries:
+            if batches < 1:
+                raise WorkloadError(
+                    f"workload {self.name!r}: model {model_name!r} has batches={batches}; "
+                    "must be >= 1"
+                )
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def model_graph(self, model_name: str) -> ModelGraph:
+        """Return (building and caching if needed) the graph for ``model_name``."""
+        if model_name not in self.models:
+            self.models[model_name] = build_model(model_name)
+        return self.models[model_name]
+
+    def instances(self) -> List[ModelInstance]:
+        """Expand the workload into independent model instances (one per batch)."""
+        result: List[ModelInstance] = []
+        for model_name, batches in self.entries:
+            graph = self.model_graph(model_name)
+            for batch in range(batches):
+                result.append(ModelInstance(instance_id=f"{model_name}#{batch}", model=graph))
+        return result
+
+    def with_batches(self, batches: int, name: str | None = None) -> "WorkloadSpec":
+        """Return a copy where every model runs ``batches`` batches (Table VI study)."""
+        return WorkloadSpec(
+            name=name or f"{self.name}-b{batches}",
+            entries=[(model_name, batches) for model_name, _ in self.entries],
+            models=dict(self.models),
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def model_names(self) -> List[str]:
+        """Distinct model names in the workload, in entry order."""
+        return [model_name for model_name, _ in self.entries]
+
+    @property
+    def total_instances(self) -> int:
+        """Total number of model instances (sum of batches)."""
+        return sum(batches for _, batches in self.entries)
+
+    @property
+    def total_layers(self) -> int:
+        """Total number of layer executions across all instances."""
+        return sum(len(self.model_graph(model_name)) * batches
+                   for model_name, batches in self.entries)
+
+    @property
+    def unique_layers(self) -> int:
+        """Number of distinct layers (cost-model cache working-set size)."""
+        return sum(len(self.model_graph(model_name)) for model_name, _ in self.entries)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC count of the workload."""
+        return sum(self.model_graph(model_name).total_macs * batches
+                   for model_name, batches in self.entries)
+
+    def all_layers(self) -> List[Layer]:
+        """Every layer execution in the workload (duplicated across batches)."""
+        layers: List[Layer] = []
+        for instance in self.instances():
+            layers.extend(instance.layers_in_dependence_order())
+        return layers
+
+    def heterogeneity(self) -> Dict[str, float]:
+        """Channel-activation ratio statistics over all layers (Table I style)."""
+        distinct: List[Layer] = []
+        for model_name, _ in self.entries:
+            distinct.extend(self.model_graph(model_name).layers)
+        return layer_heterogeneity(distinct)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by reports and the CLI."""
+        lines = [f"Workload {self.name}: {self.total_instances} model instances, "
+                 f"{self.total_layers} layer executions, "
+                 f"{self.total_macs / 1e9:.1f} GMACs"]
+        for model_name, batches in self.entries:
+            graph = self.model_graph(model_name)
+            lines.append(f"  - {model_name}: {batches} batch(es) x {len(graph)} layers")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_models(cls, name: str, models: Iterable[ModelGraph],
+                    batches: Sequence[int] | int = 1) -> "WorkloadSpec":
+        """Build a workload from pre-built model graphs."""
+        model_list = list(models)
+        if isinstance(batches, int):
+            batch_list = [batches] * len(model_list)
+        else:
+            batch_list = list(batches)
+        if len(batch_list) != len(model_list):
+            raise WorkloadError(
+                f"workload {name!r}: got {len(model_list)} models but {len(batch_list)} "
+                "batch counts"
+            )
+        spec = cls(
+            name=name,
+            entries=[(graph.name, batch) for graph, batch in zip(model_list, batch_list)],
+            models={graph.name: graph for graph in model_list},
+        )
+        return spec

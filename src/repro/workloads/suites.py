@@ -1,0 +1,80 @@
+"""The multi-DNN workload suites evaluated in the paper (Table II)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.spec import WorkloadSpec
+
+
+def arvr_a() -> WorkloadSpec:
+    """AR/VR-A: ResNet50 x2, UNet x4, MobileNetV2 x4."""
+    return WorkloadSpec(
+        name="arvr-a",
+        entries=[
+            ("resnet50", 2),
+            ("unet", 4),
+            ("mobilenet_v2", 4),
+        ],
+    )
+
+
+def arvr_b() -> WorkloadSpec:
+    """AR/VR-B: ResNet50 x2, UNet x2, MobileNetV2 x4, Br-Q Handpose x2, DepthNet x2."""
+    return WorkloadSpec(
+        name="arvr-b",
+        entries=[
+            ("resnet50", 2),
+            ("unet", 2),
+            ("mobilenet_v2", 4),
+            ("brq_handpose", 2),
+            ("focal_depthnet", 2),
+        ],
+    )
+
+
+def mlperf(batch_size: int = 1) -> WorkloadSpec:
+    """MLPerf inference multi-stream: five models, ``batch_size`` batches each.
+
+    The paper evaluates batch sizes one and eight (Table VI).
+    """
+    name = "mlperf" if batch_size == 1 else f"mlperf-b{batch_size}"
+    return WorkloadSpec(
+        name=name,
+        entries=[
+            ("resnet50", batch_size),
+            ("mobilenet_v1", batch_size),
+            ("ssd_resnet34", batch_size),
+            ("ssd_mobilenet_v1", batch_size),
+            ("gnmt", batch_size),
+        ],
+    )
+
+
+def single_model(model_name: str, batches: int = 4) -> WorkloadSpec:
+    """Single-DNN workload used for the Fig. 12 study (UNet / ResNet50, batch 4)."""
+    return WorkloadSpec(name=f"{model_name}-x{batches}", entries=[(model_name, batches)])
+
+
+#: Named workload factories used by the CLI, examples, and benchmarks.
+WORKLOAD_SUITES: Dict[str, Callable[[], WorkloadSpec]] = {
+    "arvr-a": arvr_a,
+    "arvr-b": arvr_b,
+    "mlperf": mlperf,
+}
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Build one of the Table II workloads by name."""
+    key = name.strip().lower()
+    try:
+        return WORKLOAD_SUITES[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOAD_SUITES)}"
+        ) from None
+
+
+def available_workloads() -> List[str]:
+    """Names accepted by :func:`workload_by_name`."""
+    return sorted(WORKLOAD_SUITES)

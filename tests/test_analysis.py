@@ -1,0 +1,124 @@
+"""Tests for the analysis helpers: metrics, Pareto fronts, and sweeps."""
+
+import pytest
+
+from repro.accel.classes import accelerator_class
+from repro.analysis.metrics import (
+    edp,
+    gain_table,
+    geometric_mean,
+    percent_improvement,
+    percent_overhead,
+    summarise_improvements,
+)
+from repro.analysis.pareto import dominates, is_pareto_optimal, pareto_front
+from repro.analysis.sweeps import pe_partition_sweep
+from repro.maestro.hardware import ChipConfig
+from repro.units import gbps, mib
+
+
+class TestMetrics:
+    def test_edp(self):
+        assert edp(2.0, 3.0) == pytest.approx(6.0)
+
+    def test_edp_rejects_negative(self):
+        with pytest.raises(ValueError):
+            edp(-1.0, 1.0)
+
+    def test_percent_improvement_positive_when_lower(self):
+        assert percent_improvement(10.0, 5.0) == pytest.approx(50.0)
+
+    def test_percent_improvement_negative_when_higher(self):
+        assert percent_improvement(10.0, 12.0) == pytest.approx(-20.0)
+
+    def test_percent_improvement_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0)
+
+    def test_percent_overhead(self):
+        assert percent_overhead(10.0, 12.0) == pytest.approx(20.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_gain_table_shape(self):
+        baselines = {
+            "fda": {"latency_s": 2.0, "energy_mj": 100.0, "edp_js": 200.0},
+            "rda": {"latency_s": 1.0, "energy_mj": 150.0, "edp_js": 150.0},
+        }
+        candidate = {"latency_s": 1.0, "energy_mj": 90.0, "edp_js": 90.0}
+        table = gain_table(baselines, candidate)
+        assert table["fda"]["latency_s"] == pytest.approx(50.0)
+        assert table["rda"]["energy_mj"] == pytest.approx(40.0)
+
+    def test_summarise_improvements(self):
+        stats = summarise_improvements([10.0, 20.0, 30.0])
+        assert stats["mean"] == pytest.approx(20.0)
+        assert stats["min"] == 10.0 and stats["max"] == 30.0
+
+    def test_summarise_improvements_empty(self):
+        with pytest.raises(ValueError):
+            summarise_improvements([])
+
+
+class TestPareto:
+    POINTS = [(1.0, 10.0), (2.0, 5.0), (3.0, 4.0), (2.5, 6.0), (4.0, 4.5)]
+
+    def test_dominates(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 1.0))
+        assert not dominates((1.0, 2.0), (2.0, 1.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_pareto_front_contents(self):
+        front = pareto_front(self.POINTS)
+        assert (1.0, 10.0) in front
+        assert (2.0, 5.0) in front
+        assert (3.0, 4.0) in front
+        assert (2.5, 6.0) not in front
+        assert (4.0, 4.5) not in front
+
+    def test_pareto_front_sorted_by_latency(self):
+        front = pareto_front(self.POINTS)
+        latencies = [p[0] for p in front]
+        assert latencies == sorted(latencies)
+
+    def test_is_pareto_optimal(self):
+        assert is_pareto_optimal((1.0, 10.0), self.POINTS)
+        assert not is_pareto_optimal((2.5, 6.0), self.POINTS)
+
+    def test_works_with_attribute_objects(self):
+        class Point:
+            def __init__(self, latency_s, energy_mj):
+                self.latency_s = latency_s
+                self.energy_mj = energy_mj
+
+        points = [Point(1, 3), Point(2, 1), Point(3, 3)]
+        front = pareto_front(points)
+        assert points[0] in front and points[1] in front and points[2] not in front
+
+
+class TestPartitionSweep:
+    def test_sweep_points_cover_the_chip(self, cost_model, small_workload, tiny_chip):
+        points = pe_partition_sweep(small_workload, tiny_chip, steps=4,
+                                    cost_model=cost_model)
+        assert len(points) == 3
+        for point in points:
+            assert sum(point.pe_partition) == tiny_chip.num_pes
+            assert point.edp > 0
+
+    def test_sweep_is_monotone_in_neither_direction(self, cost_model, small_workload,
+                                                    tiny_chip):
+        # The Fig. 6 curve is U-shaped: extreme partitions should not be the best.
+        points = pe_partition_sweep(small_workload, tiny_chip, steps=8,
+                                    cost_model=cost_model)
+        best = min(points, key=lambda p: p.edp)
+        assert best.pe_partition[0] not in (0, tiny_chip.num_pes)

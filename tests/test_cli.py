@@ -1,0 +1,41 @@
+"""Tests for the ``herald`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDescribe:
+    def test_describe_lists_workloads_and_classes(self, capsys):
+        assert main(["describe"]) == 0
+        output = capsys.readouterr().out
+        assert "arvr-a" in output
+        assert "edge" in output and "cloud" in output
+
+
+class TestSchedule:
+    def test_schedule_fda_on_edge(self, capsys):
+        assert main(["schedule", "--workload", "mlperf", "--chip", "edge",
+                     "--design", "fda-nvdla"]) == 0
+        output = capsys.readouterr().out
+        assert "latency" in output
+        assert "fda-nvdla-edge" in output
+
+    def test_schedule_rda(self, capsys):
+        assert main(["schedule", "--workload", "mlperf", "--chip", "edge",
+                     "--design", "rda"]) == 0
+        assert "rda-edge" in capsys.readouterr().out
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--design", "tpu"])
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--workload", "bogus"])

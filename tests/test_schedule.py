@@ -1,0 +1,168 @@
+"""Tests for the schedule data structures, accounting, and validation."""
+
+import pytest
+
+from repro.core.schedule import Schedule, ScheduledLayer
+from repro.exceptions import SchedulingError
+from repro.maestro.cost import CostModel
+from repro.maestro.hardware import SubAcceleratorConfig
+from repro.dataflow.styles import NVDLA
+from repro.models.layer import fc
+from repro.units import gbps, mib
+
+
+def _make_cost(layer):
+    sub = SubAcceleratorConfig("acc", NVDLA, num_pes=64,
+                               bandwidth_bytes_per_s=gbps(4), buffer_bytes=mib(1))
+    return CostModel().layer_cost(layer, sub)
+
+
+def _entry(name, instance, index, acc, start, finish):
+    layer = fc(name, k=64, c=64)
+    return ScheduledLayer(layer=layer, instance_id=instance, layer_index=index,
+                          sub_accelerator=acc, start_cycle=start, finish_cycle=finish,
+                          cost=_make_cost(layer))
+
+
+def _empty_schedule():
+    return Schedule(sub_accelerator_names=("a0", "a1"), clock_hz=1e9,
+                    pes_per_sub_accelerator={"a0": 64, "a1": 64})
+
+
+class TestConstruction:
+    def test_add_and_length(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        assert len(schedule) == 1
+
+    def test_unknown_sub_accelerator_rejected(self):
+        schedule = _empty_schedule()
+        with pytest.raises(SchedulingError):
+            schedule.add(_entry("l0", "m#0", 0, "zzz", 0, 100))
+
+    def test_negative_duration_rejected(self):
+        schedule = _empty_schedule()
+        with pytest.raises(SchedulingError):
+            schedule.add(_entry("l0", "m#0", 0, "a0", 100, 50))
+
+    def test_extend(self):
+        schedule = _empty_schedule()
+        schedule.extend([_entry("l0", "m#0", 0, "a0", 0, 100),
+                         _entry("l1", "m#0", 1, "a1", 100, 150)])
+        assert len(schedule) == 2
+
+
+class TestAccounting:
+    def _populated(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        schedule.add(_entry("l1", "m#0", 1, "a1", 100, 250))
+        schedule.add(_entry("l0", "n#0", 0, "a1", 250, 300))
+        return schedule
+
+    def test_makespan(self):
+        assert self._populated().makespan_cycles == 300
+        assert self._populated().makespan_seconds == pytest.approx(300e-9)
+
+    def test_empty_makespan_zero(self):
+        assert _empty_schedule().makespan_cycles == 0.0
+
+    def test_busy_and_idle_cycles(self):
+        schedule = self._populated()
+        assert schedule.busy_cycles("a0") == 100
+        assert schedule.busy_cycles("a1") == 200
+        assert schedule.idle_cycles("a0") == 200
+
+    def test_utilisation(self):
+        schedule = self._populated()
+        assert schedule.utilisation("a0") == pytest.approx(100 / 300)
+        assert schedule.utilisation("a1") == pytest.approx(200 / 300)
+
+    def test_load_imbalance(self):
+        assert self._populated().load_imbalance() == pytest.approx(2.0)
+
+    def test_layer_counts(self):
+        assert self._populated().layer_counts() == {"a0": 1, "a1": 2}
+
+    def test_dynamic_energy_is_sum_of_layers(self):
+        schedule = self._populated()
+        assert schedule.dynamic_energy_pj == pytest.approx(
+            sum(entry.energy_pj for entry in schedule.entries))
+
+    def test_idle_energy_zero_without_leakage(self):
+        assert self._populated().idle_energy_pj == 0.0
+
+    def test_idle_energy_with_leakage(self):
+        schedule = self._populated()
+        schedule.idle_energy_pj_per_cycle_per_pe = 0.01
+        assert schedule.idle_energy_pj > 0.0
+
+    def test_edp_product(self):
+        schedule = self._populated()
+        assert schedule.edp == pytest.approx(
+            schedule.total_energy_pj * 1e-12 * schedule.makespan_seconds)
+
+    def test_entries_for_instance_sorted_by_index(self):
+        chain = self._populated().entries_for_instance("m#0")
+        assert [entry.layer_index for entry in chain] == [0, 1]
+
+    def test_summary_keys(self):
+        assert set(self._populated().summary()) == {
+            "latency_s", "energy_mj", "edp_js", "num_layers", "load_imbalance"}
+
+    def test_describe_contains_counts(self):
+        assert "3 layer executions" in self._populated().describe()
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        schedule.add(_entry("l1", "m#0", 1, "a0", 100, 200))
+        schedule.validate(expected_layers={"m#0": 2})
+
+    def test_overlap_on_same_sub_accelerator_rejected(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        schedule.add(_entry("l0", "n#0", 0, "a0", 50, 150))
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_dependence_violation_rejected(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        schedule.add(_entry("l1", "m#0", 1, "a1", 50, 150))
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_duplicate_layer_index_rejected(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        schedule.add(_entry("l0b", "m#0", 0, "a1", 100, 200))
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_non_contiguous_indices_rejected(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        schedule.add(_entry("l2", "m#0", 2, "a0", 100, 200))
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_missing_layers_detected(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        with pytest.raises(SchedulingError):
+            schedule.validate(expected_layers={"m#0": 2})
+
+    def test_unknown_instance_detected(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "ghost#0", 0, "a0", 0, 100))
+        with pytest.raises(SchedulingError):
+            schedule.validate(expected_layers={"m#0": 1})
+
+    def test_parallel_execution_on_different_sub_accelerators_allowed(self):
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        schedule.add(_entry("l0", "n#0", 0, "a1", 0, 80))
+        schedule.validate(expected_layers={"m#0": 1, "n#0": 1})

@@ -1,0 +1,126 @@
+"""Tests for the model zoo: every Table I / Table II model builds correctly."""
+
+import pytest
+
+from repro.models.layer import LayerType
+from repro.models.zoo import available_models, build_model, MODEL_BUILDERS
+
+
+ALL_MODEL_NAMES = available_models()
+
+
+class TestRegistry:
+    def test_all_expected_models_present(self):
+        expected = {
+            "resnet50", "mobilenet_v2", "mobilenet_v1", "unet", "brq_handpose",
+            "focal_depthnet", "ssd_resnet34", "ssd_mobilenet_v1", "gnmt",
+        }
+        assert expected.issubset(set(ALL_MODEL_NAMES))
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("not-a-model")
+
+    def test_builders_registry_matches_available(self):
+        assert set(MODEL_BUILDERS) == set(ALL_MODEL_NAMES)
+
+
+@pytest.mark.parametrize("model_name", ALL_MODEL_NAMES)
+class TestEveryModel:
+    def test_builds_without_error(self, model_name):
+        graph = build_model(model_name)
+        assert len(graph) > 0
+
+    def test_graph_name_matches(self, model_name):
+        assert build_model(model_name).name == model_name
+
+    def test_all_macs_positive(self, model_name):
+        graph = build_model(model_name)
+        assert all(layer.macs > 0 for layer in graph.layers)
+
+    def test_dependence_order_is_complete(self, model_name):
+        graph = build_model(model_name)
+        assert len(graph.dependence_order()) == len(graph)
+
+    def test_layer_names_unique(self, model_name):
+        graph = build_model(model_name)
+        names = [layer.name for layer in graph.layers]
+        assert len(names) == len(set(names))
+
+    def test_heterogeneity_ratio_positive(self, model_name):
+        stats = build_model(model_name).heterogeneity()
+        assert stats["min"] > 0
+        assert stats["max"] >= stats["min"]
+
+
+class TestSpecificModels:
+    def test_resnet50_layer_count(self):
+        # 1 stem + 16 bottlenecks x 3 convs + 4 projections + 1 FC = 54 layers.
+        assert len(build_model("resnet50")) == 54
+
+    def test_resnet50_total_macs_about_4_gmacs(self):
+        macs = build_model("resnet50").total_macs
+        assert 3e9 < macs < 5.5e9
+
+    def test_mobilenet_v2_has_depthwise_layers(self):
+        graph = build_model("mobilenet_v2")
+        assert any(layer.layer_type is LayerType.DWCONV for layer in graph.layers)
+
+    def test_mobilenet_v2_median_ratio_matches_table_i(self):
+        # Table I reports a median channel-activation ratio of 13.714.
+        stats = build_model("mobilenet_v2").heterogeneity()
+        assert stats["median"] == pytest.approx(13.714, rel=0.05)
+
+    def test_resnet50_median_ratio_matches_table_i(self):
+        # Table I reports a median channel-activation ratio of 18.286.
+        stats = build_model("resnet50").heterogeneity()
+        assert stats["median"] == pytest.approx(18.286, rel=0.05)
+
+    def test_unet_median_ratio_matches_table_i(self):
+        # Table I reports a median channel-activation ratio of 1.855.
+        stats = build_model("unet").heterogeneity()
+        assert stats["median"] == pytest.approx(1.855, rel=0.1)
+
+    def test_unet_has_upconv_layers(self):
+        graph = build_model("unet")
+        assert any(layer.layer_type is LayerType.UPCONV for layer in graph.layers)
+
+    def test_unet_first_layer_activation_parallelism(self):
+        # Sec. V-B quotes ~334 K as the maximum activation parallelism (UNet conv 1).
+        first = build_model("unet").layers[0]
+        assert 2.5e5 < first.out_y * first.out_x < 4e5
+
+    def test_mobilenet_v1_layer_count(self):
+        # Stem + 13 separable blocks x 2 + FC = 28 layers.
+        assert len(build_model("mobilenet_v1")) == 28
+
+    def test_brq_handpose_has_1024_wide_fc(self):
+        graph = build_model("brq_handpose")
+        assert any(layer.layer_type is LayerType.FC and layer.k == 1024
+                   for layer in graph.layers)
+
+    def test_depthnet_has_16m_channel_parallelism_fc(self):
+        # Sec. V-B: the maximum channel parallelism is ~16.8 M (DepthNet FC layer 2).
+        graph = build_model("focal_depthnet")
+        assert any(layer.k * layer.c > 16e6 for layer in graph.layers
+                   if layer.layer_type is LayerType.FC)
+
+    def test_ssd_models_have_detection_heads(self):
+        for name in ("ssd_resnet34", "ssd_mobilenet_v1"):
+            graph = build_model(name)
+            assert any("head" in layer.name for layer in graph.layers)
+
+    def test_gnmt_is_all_gemm(self):
+        graph = build_model("gnmt")
+        assert all(layer.layer_type is LayerType.GEMM for layer in graph.layers)
+
+    def test_gnmt_has_encoder_and_decoder_stacks(self):
+        names = [layer.name for layer in build_model("gnmt").layers]
+        assert sum("encoder_lstm" in n for n in names) == 8
+        assert sum("decoder_lstm" in n for n in names) == 8
+
+    def test_models_are_rebuilt_fresh(self):
+        a = build_model("resnet50")
+        b = build_model("resnet50")
+        assert a is not b
+        assert len(a) == len(b)
