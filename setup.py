@@ -1,10 +1,22 @@
-"""Setuptools shim.
+"""Packaging for the Herald (HPCA 2021) reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in offline environments whose setuptools/pip
-combination cannot build PEP 660 editable wheels (no ``wheel`` package).
+Pure-stdlib package: no runtime dependencies, so ``pip install -e .`` works in
+fully offline environments.  Installing registers the ``herald`` console
+script; running from a source checkout without installing also works — the
+repo-root ``conftest.py`` puts ``src/`` on ``sys.path`` for tests and
+benchmarks, and ``PYTHONPATH=src python -m repro.cli`` serves as the CLI.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="herald-repro",
+    version="1.1.0",
+    description=("Reproduction of 'Heterogeneous Dataflow Accelerators for "
+                 "Multi-DNN Workloads' (HPCA 2021): Herald's scheduler, "
+                 "hardware partitioner, and co-design-space exploration"),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["herald=repro.cli:main"]},
+)

@@ -8,7 +8,9 @@ The library implements the paper's full stack:
 * FDA / SM-FDA / RDA / HDA accelerator designs (:mod:`repro.accel`);
 * the Table II multi-DNN workloads (:mod:`repro.workloads`);
 * **Herald**: the scheduler, hardware partitioner, and co-DSE driver
-  (:mod:`repro.core`); and
+  (:mod:`repro.core`);
+* a pluggable execution engine — serial / process-pool backends and a
+  persistent cost cache — for large sweeps (:mod:`repro.exec`); and
 * analysis helpers (:mod:`repro.analysis`).
 
 Quickstart
@@ -73,9 +75,16 @@ from repro.core import (
     ScheduledLayer,
     evaluate_design,
 )
+from repro.exec import (
+    EvaluationTask,
+    ExecutionBackend,
+    PersistentCostCache,
+    ProcessPoolBackend,
+    SerialBackend,
+)
 from repro.analysis import pareto_front, percent_improvement
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -132,6 +141,12 @@ __all__ = [
     "HeraldDSE",
     "DSEResult",
     "DesignSpacePoint",
+    # execution engine
+    "EvaluationTask",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "PersistentCostCache",
     # analysis
     "pareto_front",
     "percent_improvement",

@@ -23,9 +23,9 @@ from repro.dataflow.styles import NVDLA, SHIDIANNAO, DataflowStyle
 from repro.maestro.cost import CostModel
 from repro.maestro.hardware import ChipConfig
 from repro.core.dse import HeraldDSE
-from repro.core.evaluator import EvaluationResult, evaluate_design
-from repro.core.partitioner import PartitionSearch
-from repro.core.scheduler import HeraldScheduler
+from repro.core.evaluator import EvaluationResult
+from repro.exec.backends import ExecutionBackend, SerialBackend
+from repro.exec.tasks import EvaluationTask
 from repro.analysis.metrics import percent_improvement
 from repro.workloads.spec import WorkloadSpec
 
@@ -47,32 +47,43 @@ class PartitionSweepPoint:
 def pe_partition_sweep(workload: WorkloadSpec, chip: ChipConfig,
                        styles: Sequence[DataflowStyle] = (SHIDIANNAO, NVDLA),
                        steps: int = 8,
-                       cost_model: Optional[CostModel] = None
+                       cost_model: Optional[CostModel] = None,
+                       backend: Optional[ExecutionBackend] = None
                        ) -> List[PartitionSweepPoint]:
     """Sweep the PE split of a two-way HDA with even bandwidth partitioning.
 
     Returns one point per split, ordered from "(almost) everything on the first
     sub-accelerator" to the opposite extreme, which is exactly the x-axis of
-    Fig. 6.
+    Fig. 6.  The splits are independent evaluations, so they are submitted as
+    tasks to the execution ``backend`` (in-process serial by default).  A
+    backend carries its own cost model, so supplying both is rejected.
     """
-    model = cost_model or CostModel()
-    scheduler = HeraldScheduler(model)
+    if backend is None:
+        backend = SerialBackend(cost_model=cost_model or CostModel())
+    elif cost_model is not None:
+        raise ValueError(
+            "pass cost_model to the backend, not to pe_partition_sweep, "
+            "when a backend is supplied"
+        )
     total_bw_gbps = chip.noc_bandwidth_bytes_per_s / 1e9
     even_bw = (total_bw_gbps / 2, total_bw_gbps / 2)
     step = chip.num_pes // steps
-    points: List[PartitionSweepPoint] = []
-    for first in range(step, chip.num_pes, step):
+    tasks: List[EvaluationTask] = []
+    for task_id, first in enumerate(range(step, chip.num_pes, step)):
         partition = (first, chip.num_pes - first)
         design = make_hda(chip, list(styles), pe_partition=partition,
                           bw_partition_gbps=even_bw)
-        result = evaluate_design(design, workload, cost_model=model, scheduler=scheduler)
-        points.append(PartitionSweepPoint(
-            pe_partition=partition,
+        tasks.append(EvaluationTask(task_id, design, workload, category="pe-sweep",
+                                    pe_partition=partition, bw_partition_gbps=even_bw))
+    return [
+        PartitionSweepPoint(
+            pe_partition=task.pe_partition,
             edp=result.edp,
             latency_s=result.latency_s,
             energy_mj=result.energy_mj,
-        ))
-    return points
+        )
+        for task, result in zip(tasks, backend.run(tasks))
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -154,10 +165,14 @@ def workload_change_study(workloads: Sequence[WorkloadSpec], chip: ChipConfig,
     designs: Dict[str, AcceleratorDesign] = {
         workload.name: driver.maelstrom_design(workload, chip) for workload in workloads
     }
-    study = WorkloadChangeStudy()
+    # The (design, workload) cross product is a flat batch of independent
+    # evaluations, so it goes through the driver's execution backend.
+    tasks: List[EvaluationTask] = []
     for optimised_name, design in designs.items():
-        study.results[optimised_name] = {}
         for workload in workloads:
-            study.results[optimised_name][workload.name] = evaluate_design(
-                design, workload, cost_model=driver.cost_model, scheduler=driver.scheduler)
+            tasks.append(EvaluationTask(len(tasks), design, workload,
+                                        category="workload-change", group=optimised_name))
+    study = WorkloadChangeStudy()
+    for task, result in zip(tasks, driver.backend.run(tasks)):
+        study.results.setdefault(task.group, {})[task.workload.name] = result
     return study

@@ -23,6 +23,7 @@ from repro.accel.classes import ACCELERATOR_CLASSES
 from repro.core import HeraldDSE, HeraldScheduler, evaluate_design
 from repro.core.partitioner import PartitionSearch
 from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
+from repro.exec import PersistentCostCache, ProcessPoolBackend, SerialBackend
 from repro.maestro import CostModel
 from repro.workloads import workload_by_name
 from repro.workloads.suites import WORKLOAD_SUITES
@@ -53,6 +54,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="granularity of the PE partition search")
     dse.add_argument("--bw-steps", type=int, default=4,
                      help="granularity of the bandwidth partition search")
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for design evaluation (1 = in-process)")
+    dse.add_argument("--cache-file", default=None, metavar="PATH",
+                     help="JSON file the cost-model cache is loaded from / saved to, "
+                          "so repeated sweeps start warm")
     return parser
 
 
@@ -90,14 +96,33 @@ def _command_schedule(args: argparse.Namespace) -> int:
 
 
 def _command_dse(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
     workload = workload_by_name(args.workload)
     chip = accelerator_class(args.chip)
     cost_model = CostModel()
-    search = PartitionSearch(cost_model=cost_model, pe_steps=args.pe_steps,
-                             bw_steps=args.bw_steps)
-    dse = HeraldDSE(cost_model=cost_model, partition_search=search)
+    scheduler = HeraldScheduler(cost_model)
+    cache = PersistentCostCache(args.cache_file) if args.cache_file else None
+    if args.jobs > 1:
+        backend = ProcessPoolBackend(jobs=args.jobs, cost_model=cost_model,
+                                     scheduler=scheduler, cache=cache)
+    else:
+        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler, cache=cache)
+    search = PartitionSearch(cost_model=cost_model, scheduler=scheduler,
+                             pe_steps=args.pe_steps, bw_steps=args.bw_steps)
+    dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler,
+                    partition_search=search, backend=backend)
     space = dse.explore(workload, chip)
     print(space.describe())
+    print(f"execution backend: {backend.describe()}")
+    print(f"cost model: {backend.total_cold_evaluations} cold evaluations, "
+          f"{backend.total_cache_hits} cache hits")
+    if cache is not None:
+        print(cache.describe())
+        if backend.cache_save_error is not None:
+            print(f"warning: could not save cost cache: {backend.cache_save_error}",
+                  file=sys.stderr)
     return 0
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SearchError
 from repro.accel.builders import (
@@ -32,7 +32,7 @@ from repro.accel.design import AcceleratorDesign, AcceleratorKind
 from repro.dataflow.styles import ALL_STYLES, NVDLA, SHIDIANNAO, DataflowStyle
 from repro.maestro.cost import CostModel
 from repro.maestro.hardware import ChipConfig
-from repro.core.evaluator import EvaluationResult, evaluate_design
+from repro.core.evaluator import EvaluationResult
 from repro.core.partitioner import PartitionPoint, PartitionSearch
 from repro.core.scheduler import HeraldScheduler
 from repro.workloads.spec import WorkloadSpec
@@ -143,53 +143,140 @@ class HeraldDSE:
         Partition-search configuration used for HDA (and SM-FDA) candidates.
     styles:
         Dataflow styles available for FDAs / sub-accelerators.
+    backend:
+        Execution backend the enumerated evaluation tasks are submitted to.
+        Defaults to an in-process :class:`~repro.exec.backends.SerialBackend`
+        sharing this driver's cost model and scheduler; pass a
+        :class:`~repro.exec.backends.ProcessPoolBackend` to fan the design
+        space out across worker processes.
     """
 
     def __init__(self, cost_model: Optional[CostModel] = None,
                  scheduler: Optional[HeraldScheduler] = None,
                  partition_search: Optional[PartitionSearch] = None,
-                 styles: Sequence[DataflowStyle] = ALL_STYLES) -> None:
+                 styles: Sequence[DataflowStyle] = ALL_STYLES,
+                 backend: Optional["ExecutionBackend"] = None) -> None:
         self.cost_model = cost_model or CostModel()
         self.scheduler = scheduler or HeraldScheduler(self.cost_model)
         self.partition_search = partition_search or PartitionSearch(
             cost_model=self.cost_model, scheduler=self.scheduler)
         self.styles = tuple(styles)
+        if backend is None:
+            from repro.exec.backends import SerialBackend
+            backend = SerialBackend(cost_model=self.cost_model, scheduler=self.scheduler)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Whole-design-space exploration (Fig. 11)
     # ------------------------------------------------------------------
+    def enumerate_tasks(self, workload: WorkloadSpec, chip: ChipConfig,
+                        include_rda: bool = True, include_smfda: bool = True,
+                        include_three_way: bool = True,
+                        hda_combinations: Optional[Sequence[Sequence[DataflowStyle]]] = None,
+                        first_task_id: int = 0) -> Iterator["EvaluationTask"]:
+        """Lazily enumerate the design space as declarative evaluation tasks.
+
+        One task per candidate design: every FDA, every SM-FDA, the RDA, and
+        every partition candidate of every HDA dataflow combination.  Tasks
+        carry their category (and, for HDA candidates, the partition and a
+        per-combination group key) so results can be reassembled into a
+        :class:`DSEResult` regardless of which backend ran them.
+        """
+        from repro.exec.tasks import EvaluationTask
+
+        task_id = first_task_id
+        for design in enumerate_fdas(chip, self.styles):
+            yield EvaluationTask(task_id, design, workload, category="fda")
+            task_id += 1
+
+        if include_smfda:
+            for design in enumerate_smfdas(chip, 2, self.styles):
+                yield EvaluationTask(task_id, design, workload, category="sm-fda")
+                task_id += 1
+
+        if include_rda:
+            yield EvaluationTask(task_id, make_rda(chip), workload, category="rda")
+            task_id += 1
+
+        for combo in self._hda_combos(hda_combinations, include_three_way):
+            group = self._combo_group(combo)
+            for pes, bws in self.partition_search.candidate_partitions(chip, len(combo)):
+                design = self.partition_search.build_design(chip, list(combo), pes, bws)
+                yield EvaluationTask(task_id, design, workload, category="hda",
+                                     group=group, pe_partition=tuple(pes),
+                                     bw_partition_gbps=tuple(bws))
+                task_id += 1
+
     def explore(self, workload: WorkloadSpec, chip: ChipConfig,
                 include_rda: bool = True, include_smfda: bool = True,
                 include_three_way: bool = True,
                 hda_combinations: Optional[Sequence[Sequence[DataflowStyle]]] = None
                 ) -> DSEResult:
-        """Evaluate the full accelerator design space for one workload and chip."""
+        """Evaluate the full accelerator design space for one workload and chip.
+
+        The candidate designs are enumerated as declarative tasks and submitted
+        to the configured execution backend; with the binary partition-search
+        strategy a second, refinement round is submitted around the best coarse
+        partition of each HDA combination.
+        """
         start = time.perf_counter()
         result = DSEResult(workload_name=workload.name, chip_name=chip.name)
 
-        for design in enumerate_fdas(chip, self.styles):
-            result.points.append(self._evaluate(design, workload, "fda"))
+        combos = self._hda_combos(hda_combinations, include_three_way)
+        tasks = list(self.enumerate_tasks(
+            workload, chip, include_rda=include_rda, include_smfda=include_smfda,
+            hda_combinations=combos))
+        evaluations = self.backend.run(tasks)
 
-        if include_smfda:
-            for design in enumerate_smfdas(chip, 2, self.styles):
-                result.points.append(self._evaluate(design, workload, "sm-fda"))
-
-        if include_rda:
-            result.points.append(self._evaluate(make_rda(chip), workload, "rda"))
-
-        combos = hda_combinations
-        if combos is None:
-            combos = hda_style_combinations(self.styles, include_three_way=include_three_way)
-        for combo in combos:
-            for point in self.partition_search.search(chip, list(combo), workload):
-                result.points.append(DesignSpacePoint(
-                    category="hda",
-                    design=point.result.design,
-                    result=point.result,
+        hda_points: Dict[str, List[PartitionPoint]] = {}
+        for task, evaluation in zip(tasks, evaluations):
+            result.points.append(DesignSpacePoint(
+                category=task.category, design=task.design, result=evaluation))
+            if task.category == "hda":
+                hda_points.setdefault(task.group, []).append(PartitionPoint(
+                    pe_partition=task.pe_partition,
+                    bw_partition_gbps=task.bw_partition_gbps,
+                    result=evaluation,
                 ))
+
+        if self.partition_search.strategy == "binary" and hda_points:
+            self._refine_hdas(result, workload, chip, hda_points, combos,
+                              first_task_id=len(tasks))
 
         result.elapsed_s = time.perf_counter() - start
         return result
+
+    def _refine_hdas(self, result: DSEResult, workload: WorkloadSpec,
+                     chip: ChipConfig, hda_points: Dict[str, List[PartitionPoint]],
+                     combos: Sequence[Tuple[DataflowStyle, ...]],
+                     first_task_id: int) -> None:
+        """Second (binary-refinement) round around each combo's best partition."""
+        from repro.exec.tasks import EvaluationTask
+
+        styles_by_group = {self._combo_group(combo): combo for combo in combos}
+        refine_tasks: List[EvaluationTask] = []
+        task_id = first_task_id
+        for group, coarse in hda_points.items():
+            combo = styles_by_group[group]
+            for pes, bws in self.partition_search.refinement_candidates(chip, coarse):
+                design = self.partition_search.build_design(chip, list(combo), pes, bws)
+                refine_tasks.append(EvaluationTask(
+                    task_id, design, workload, category="hda", group=group,
+                    pe_partition=tuple(pes), bw_partition_gbps=tuple(bws)))
+                task_id += 1
+        for task, evaluation in zip(refine_tasks, self.backend.run(refine_tasks)):
+            result.points.append(DesignSpacePoint(
+                category="hda", design=task.design, result=evaluation))
+
+    @staticmethod
+    def _combo_group(combo: Sequence[DataflowStyle]) -> str:
+        return "hda:" + "+".join(style.name for style in combo)
+
+    def _hda_combos(self, hda_combinations: Optional[Sequence[Sequence[DataflowStyle]]],
+                    include_three_way: bool) -> List[Tuple[DataflowStyle, ...]]:
+        if hda_combinations is not None:
+            return [tuple(combo) for combo in hda_combinations]
+        return hda_style_combinations(self.styles, include_three_way=include_three_way)
 
     # ------------------------------------------------------------------
     # Maelstrom: the paper's named HDA (NVDLA + Shi-diannao)
@@ -225,11 +312,3 @@ class HeraldDSE:
             "maelstrom": space.best("hda").result,
         }
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _evaluate(self, design: AcceleratorDesign, workload: WorkloadSpec,
-                  category: str) -> DesignSpacePoint:
-        result = evaluate_design(design, workload, cost_model=self.cost_model,
-                                 scheduler=self.scheduler)
-        return DesignSpacePoint(category=category, design=design, result=result)

@@ -164,14 +164,13 @@ class PartitionSearch:
         """
         if len(styles) < 2:
             raise SearchError("partitioning requires at least two sub-accelerators")
-        candidates = self._candidate_partitions(chip, len(styles))
-        if self.strategy == "random":
-            rng = random.Random(self.seed)
-            candidates = rng.sample(candidates, min(self.samples, len(candidates)))
         points = [self._evaluate(chip, styles, workload, pes, bws)
-                  for pes, bws in candidates]
+                  for pes, bws in self.candidate_partitions(chip, len(styles))]
         if self.strategy == "binary":
-            points.extend(self._refine(chip, styles, workload, points))
+            points.extend(
+                self._evaluate(chip, styles, workload, pes, bws)
+                for pes, bws in self.refinement_candidates(chip, points)
+            )
         return points
 
     def best_point(self, points: Iterable[PartitionPoint]) -> PartitionPoint:
@@ -185,6 +184,59 @@ class PartitionSearch:
                     workload: WorkloadSpec) -> PartitionPoint:
         """Convenience wrapper returning only the best partition."""
         return self.best_point(self.search(chip, styles, workload))
+
+    # ------------------------------------------------------------------
+    # Declarative candidate enumeration (consumed by the execution engine)
+    # ------------------------------------------------------------------
+    def candidate_partitions(self, chip: ChipConfig, parts: int
+                             ) -> List[Tuple[Tuple[int, ...], Tuple[float, ...]]]:
+        """The first-round ``(pe_partition, bw_partition_gbps)`` candidates.
+
+        For the ``"random"`` strategy the configured sampling is already
+        applied, so the returned list is exactly what :meth:`search` would
+        evaluate in its first round.  This lets callers (notably the DSE
+        execution engine) turn the search into independent evaluation tasks.
+        """
+        candidates = self._candidate_partitions(chip, parts)
+        if self.strategy == "random":
+            rng = random.Random(self.seed)
+            candidates = rng.sample(candidates, min(self.samples, len(candidates)))
+        return candidates
+
+    def refinement_candidates(self, chip: ChipConfig,
+                              coarse_points: Sequence[PartitionPoint]
+                              ) -> List[Tuple[Tuple[int, ...], Tuple[float, ...]]]:
+        """Second-round candidates around the best coarse point (binary strategy).
+
+        Returns half-step PE perturbations of the best coarse partition that
+        were not already explored; empty when there is nothing to refine.
+        """
+        if not coarse_points:
+            return []
+        best = self.best_point(coarse_points)
+        pe_step = max(1, chip.num_pes // (self.pe_steps * 2))
+        explored = {point.pe_partition for point in coarse_points}
+        candidates: List[Tuple[Tuple[int, ...], Tuple[float, ...]]] = []
+        for index in range(len(best.pe_partition) - 1):
+            for delta in (-pe_step, pe_step):
+                candidate = list(best.pe_partition)
+                candidate[index] += delta
+                candidate[-1] -= delta
+                if any(p <= 0 for p in candidate):
+                    continue
+                candidate_t = tuple(candidate)
+                if candidate_t in explored:
+                    continue
+                explored.add(candidate_t)
+                candidates.append((candidate_t, best.bw_partition_gbps))
+        return candidates
+
+    def build_design(self, chip: ChipConfig, styles: Sequence[DataflowStyle],
+                     pe_partition: Sequence[int],
+                     bw_partition_gbps: Sequence[float]) -> AcceleratorDesign:
+        """The design a candidate partition denotes (HDA, or SM-FDA when
+        all styles coincide)."""
+        return self._build_design(chip, styles, pe_partition, bw_partition_gbps)
 
     # ------------------------------------------------------------------
     # Internals
@@ -233,25 +285,3 @@ class PartitionSearch:
         return make_hda(chip, styles, pe_partition=pe_partition,
                         bw_partition_gbps=bw_partition_gbps)
 
-    def _refine(self, chip: ChipConfig, styles: Sequence[DataflowStyle],
-                workload: WorkloadSpec, coarse_points: Sequence[PartitionPoint]
-                ) -> List[PartitionPoint]:
-        """Refine around the best coarse point with half-step perturbations."""
-        best = self.best_point(coarse_points)
-        pe_step = max(1, chip.num_pes // (self.pe_steps * 2))
-        refined: List[PartitionPoint] = []
-        explored = {point.pe_partition for point in coarse_points}
-        for index in range(len(best.pe_partition) - 1):
-            for delta in (-pe_step, pe_step):
-                candidate = list(best.pe_partition)
-                candidate[index] += delta
-                candidate[-1] -= delta
-                if any(p <= 0 for p in candidate):
-                    continue
-                candidate_t = tuple(candidate)
-                if candidate_t in explored:
-                    continue
-                explored.add(candidate_t)
-                refined.append(self._evaluate(chip, styles, workload, candidate_t,
-                                              best.bw_partition_gbps))
-        return refined

@@ -83,6 +83,17 @@ class DataflowStyle:
         return hash((self.name, self.spatial_dims, self.stationary, self.spatial_reduction,
                      tuple(sorted(self.max_unroll.items()))))
 
+    def __reduce__(self):
+        # The frozen ``max_unroll`` mapping is a ``mappingproxy``, which the
+        # default pickle path cannot serialise; rebuild through the constructor
+        # instead so styles (and the designs that embed them) can cross process
+        # boundaries for parallel design-space exploration.
+        return (
+            DataflowStyle,
+            (self.name, self.spatial_dims, self.stationary, self.spatial_reduction,
+             self.loop_nest, dict(self.max_unroll)),
+        )
+
     def unroll_cap(self, dimension: str) -> Optional[int]:
         """Structural unrolling cap of ``dimension`` (``None`` when unlimited)."""
         return self.max_unroll.get(dimension)

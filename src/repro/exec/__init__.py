@@ -1,0 +1,28 @@
+"""Pluggable execution engine for design-space exploration.
+
+Herald's DSE is an embarrassingly parallel bag of independent design
+evaluations.  This package turns each evaluation into a declarative, picklable
+:class:`EvaluationTask` and executes batches of them through an
+:class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — in-process, one shared cost model (the default);
+* :class:`ProcessPoolBackend` — chunked ``multiprocessing`` fan-out with
+  cost-model warmth shipped to and recovered from the workers.
+
+:class:`PersistentCostCache` spills the cost model's per-(layer, dataflow,
+hardware) memo to a JSON file so repeated sweeps across process lifetimes
+start warm.
+"""
+
+from repro.exec.tasks import EvaluationTask, run_evaluation_task
+from repro.exec.cache import PersistentCostCache
+from repro.exec.backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+
+__all__ = [
+    "EvaluationTask",
+    "run_evaluation_task",
+    "PersistentCostCache",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+]

@@ -1,0 +1,246 @@
+"""Execution backends: where and how evaluation tasks run.
+
+The engine is deliberately small: a backend takes a list of
+:class:`~repro.exec.tasks.EvaluationTask` and returns one
+:class:`~repro.core.evaluator.EvaluationResult` per task, in submission order.
+Two implementations ship with the library:
+
+* :class:`SerialBackend` — evaluate in-process against one shared cost model.
+  This is the default everywhere and is bit-for-bit the historical behaviour.
+* :class:`ProcessPoolBackend` — chunk the tasks across a ``multiprocessing``
+  pool.  Each worker holds its own cost model, warm-started from the parent's
+  memo; newly computed memo entries flow back with the results and are merged
+  into the parent (and the persistent cache, when one is attached), so warmth
+  is never lost to process boundaries.
+
+Because every evaluation is a pure function of ``(design, workload)``, the two
+backends produce identical design metrics; only wall-clock-derived fields
+(``scheduling_time_s``) differ.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.exceptions import SearchError
+from repro.core.evaluator import EvaluationResult
+from repro.core.scheduler import HeraldScheduler
+from repro.maestro.cost import CostModel, LayerCost
+from repro.exec.cache import PersistentCostCache
+from repro.exec.tasks import EvaluationTask, run_evaluation_task
+
+
+class ExecutionBackend(Protocol):
+    """Protocol every execution backend implements."""
+
+    def run(self, tasks: Sequence[EvaluationTask]) -> List[EvaluationResult]:
+        """Execute ``tasks`` and return results in submission order."""
+        ...
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        ...
+
+
+class _CacheMixin:
+    """Shared persistent-cache plumbing for backends."""
+
+    cache: Optional[PersistentCostCache]
+    cost_model: CostModel
+    _cache_warmed: bool
+
+    #: Last cache-save failure, if any.  Results must never be lost to a
+    #: cache-persistence problem, so save errors are recorded, not raised.
+    cache_save_error: Optional[OSError] = None
+
+    def _warm_from_cache(self) -> None:
+        if self.cache is not None and not self._cache_warmed:
+            self.cache.warm(self.cost_model)
+            self._cache_warmed = True
+
+    def _spill_to_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.capture(self.cost_model)
+            try:
+                self.cache.save_if_dirty()
+                self.cache_save_error = None
+            except OSError as error:
+                self.cache_save_error = error
+
+
+class SerialBackend(_CacheMixin):
+    """Evaluate every task in-process, sharing one cost model and scheduler.
+
+    Parameters
+    ----------
+    cost_model:
+        Shared cost model; its memo carries across all tasks of all runs.
+    scheduler:
+        Scheduler used for every task; defaults to Herald's scheduler on the
+        shared cost model.
+    cache:
+        Optional persistent cost cache.  It is loaded into the cost model
+        before the first run and re-saved (with any new entries) after every
+        run.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 scheduler: Optional[HeraldScheduler] = None,
+                 cache: Optional[PersistentCostCache] = None) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.scheduler = scheduler or HeraldScheduler(self.cost_model)
+        self.cache = cache
+        self._cache_warmed = False
+        self.last_cold_evaluations = 0
+        self.last_cache_hits = 0
+        self.total_cold_evaluations = 0
+        self.total_cache_hits = 0
+
+    def run(self, tasks: Sequence[EvaluationTask]) -> List[EvaluationResult]:
+        """Execute ``tasks`` one after another on the shared cost model."""
+        self._warm_from_cache()
+        misses_before = self.cost_model.misses
+        hits_before = self.cost_model.hits
+        results = [run_evaluation_task(task, self.cost_model, self.scheduler)
+                   for task in tasks]
+        self.last_cold_evaluations = self.cost_model.misses - misses_before
+        self.last_cache_hits = self.cost_model.hits - hits_before
+        self.total_cold_evaluations += self.last_cold_evaluations
+        self.total_cache_hits += self.last_cache_hits
+        self._spill_to_cache()
+        return results
+
+    def describe(self) -> str:
+        return "serial (in-process)"
+
+
+# ---------------------------------------------------------------------------
+# Process-pool backend
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by the pool initializer.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(cost_model: CostModel, scheduler: HeraldScheduler) -> None:
+    """Pool initializer: adopt the shipped (warm) cost model and scheduler.
+
+    ``cost_model`` and ``scheduler`` are pickled together, so the scheduler's
+    cost-model reference survives the trip and both name the same object here.
+    """
+    _WORKER_STATE["model"] = cost_model
+    _WORKER_STATE["scheduler"] = scheduler
+    _WORKER_STATE["sent_keys"] = {key for key, _ in cost_model.cache_items()}
+
+
+def _run_chunk(tasks: Sequence[EvaluationTask]
+               ) -> Tuple[List[Tuple[int, EvaluationResult]],
+                          List[Tuple[Tuple, LayerCost]], int, int]:
+    """Worker body: evaluate one chunk, returning results and new memo entries."""
+    model: CostModel = _WORKER_STATE["model"]
+    scheduler: HeraldScheduler = _WORKER_STATE["scheduler"]
+    sent_keys = _WORKER_STATE["sent_keys"]
+    hits_before = model.hits
+    misses_before = model.misses
+    results = [(task.task_id, run_evaluation_task(task, model, scheduler))
+               for task in tasks]
+    new_entries = [(key, cost) for key, cost in model.cache_items()
+                   if key not in sent_keys]
+    sent_keys.update(key for key, _ in new_entries)
+    return results, new_entries, model.hits - hits_before, model.misses - misses_before
+
+
+class ProcessPoolBackend(_CacheMixin):
+    """Evaluate tasks on a pool of worker processes.
+
+    Tasks are split into contiguous chunks and dispatched with
+    ``multiprocessing.Pool.map``.  Every worker starts from a copy of the
+    parent's (possibly cache-warmed) cost model; new memo entries computed in
+    the workers are shipped back and merged into the parent model, so a
+    subsequent run — serial or parallel — starts warm.
+
+    A fresh pool is created per :meth:`run` call and the parent's memo is
+    pickled into every worker, so per-call overhead grows with the memo size;
+    this keeps worker lifetime trivially bounded, but for very large
+    persistent caches a long-lived pool with delta shipping would amortise
+    better (future work).
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes (>= 1).
+    cost_model / scheduler:
+        Parent-side cost model and scheduler configuration.  The scheduler is
+        shipped to the workers so custom metrics/orderings are honoured.
+    cache:
+        Optional persistent cost cache, loaded before the first run and
+        re-saved after every run (including worker-computed entries).
+    chunk_size:
+        Tasks per worker chunk; defaults to spreading the tasks roughly two
+        chunks per worker.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+    """
+
+    def __init__(self, jobs: int = 2, cost_model: Optional[CostModel] = None,
+                 scheduler: Optional[HeraldScheduler] = None,
+                 cache: Optional[PersistentCostCache] = None,
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise SearchError(f"jobs must be >= 1 (got {jobs})")
+        if chunk_size is not None and chunk_size < 1:
+            raise SearchError(f"chunk_size must be >= 1 (got {chunk_size})")
+        self.jobs = jobs
+        self.cost_model = cost_model or CostModel()
+        self.scheduler = scheduler or HeraldScheduler(self.cost_model)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._cache_warmed = False
+        self.last_cold_evaluations = 0
+        self.last_cache_hits = 0
+        self.last_new_cache_entries = 0
+        self.total_cold_evaluations = 0
+        self.total_cache_hits = 0
+
+    def run(self, tasks: Sequence[EvaluationTask]) -> List[EvaluationResult]:
+        """Execute ``tasks`` across the worker pool, preserving order."""
+        if not tasks:
+            self.last_cold_evaluations = 0
+            self.last_cache_hits = 0
+            self.last_new_cache_entries = 0
+            return []
+        self._warm_from_cache()
+        chunks = self._chunk(list(tasks))
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(processes=self.jobs, initializer=_init_worker,
+                          initargs=(self.cost_model, self.scheduler)) as pool:
+            outputs = pool.map(_run_chunk, chunks)
+
+        by_id: Dict[int, EvaluationResult] = {}
+        self.last_cold_evaluations = 0
+        self.last_cache_hits = 0
+        self.last_new_cache_entries = 0
+        for results, new_entries, hits, misses in outputs:
+            for task_id, result in results:
+                by_id[task_id] = result
+            for key, cost in new_entries:
+                if self.cost_model.install_cached(key, cost):
+                    self.last_new_cache_entries += 1
+            self.last_cache_hits += hits
+            self.last_cold_evaluations += misses
+        self.total_cold_evaluations += self.last_cold_evaluations
+        self.total_cache_hits += self.last_cache_hits
+        self._spill_to_cache()
+        return [by_id[task.task_id] for task in tasks]
+
+    def describe(self) -> str:
+        return f"process pool ({self.jobs} jobs)"
+
+    def _chunk(self, tasks: List[EvaluationTask]) -> List[List[EvaluationTask]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, (len(tasks) + 2 * self.jobs - 1) // (2 * self.jobs))
+        return [tasks[start:start + size] for start in range(0, len(tasks), size)]

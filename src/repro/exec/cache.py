@@ -1,0 +1,271 @@
+"""Persistent spill of the cost model's per-(layer, dataflow, hardware) memo.
+
+The :class:`~repro.maestro.cost.CostModel` memo is what makes Herald's
+co-exploration tractable, but it only lives for one process.  A
+:class:`PersistentCostCache` spills it to a JSON file so repeated sweeps —
+across CLI invocations, benchmark runs, or worker processes — start warm: a
+second run of the same DSE performs zero cold cost-model evaluations.
+
+The file format is a plain JSON document (one ``entries`` list of serialized
+``(cache key, LayerCost)`` pairs).  A corrupted or unreadable file is treated
+as an empty cache — the sweep simply starts cold — so a half-written file can
+never break an exploration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.maestro.cost import CostModel, LayerCost
+from repro.models.layer import Layer, LayerType
+
+#: Format version written to (and required from) cache files.
+CACHE_FORMAT_VERSION = 2
+
+
+def model_fingerprint(cost_model: CostModel) -> str:
+    """A stable fingerprint of the cost-model configuration.
+
+    The in-memory memo key identifies a dataflow only by name and assumes one
+    fixed energy table, which is safe inside a single :class:`CostModel` but
+    not across processes: entries computed under one configuration must not be
+    served to a model with a different energy table or RDA style set.  The
+    fingerprint is stored in the cache file and checked on :meth:`warm` /
+    :meth:`capture`.
+    """
+    return json.dumps({
+        "energy_table": dataclasses.asdict(cost_model.energy_table),
+        "rda_styles": sorted(style.name for style in cost_model.rda_styles),
+    }, sort_keys=True)
+
+#: Layer fields that participate in cache identity, in serialisation order.
+_LAYER_FIELDS = ("name", "k", "c", "y", "x", "r", "s", "stride", "upscale", "model_name")
+
+
+def _layer_to_json(layer: Layer) -> Dict[str, object]:
+    payload: Dict[str, object] = {field: getattr(layer, field) for field in _LAYER_FIELDS}
+    payload["layer_type"] = layer.layer_type.value
+    return payload
+
+
+def _layer_from_json(payload: Dict[str, object]) -> Layer:
+    return Layer(
+        layer_type=LayerType(payload["layer_type"]),
+        **{field: payload[field] for field in _LAYER_FIELDS},
+    )
+
+
+def _cost_to_json(cost: LayerCost) -> Dict[str, object]:
+    return {
+        "layer": _layer_to_json(cost.layer),
+        "dataflow_name": cost.dataflow_name,
+        "num_pes": cost.num_pes,
+        "compute_cycles": cost.compute_cycles,
+        "noc_cycles": cost.noc_cycles,
+        "dram_cycles": cost.dram_cycles,
+        "overhead_cycles": cost.overhead_cycles,
+        "energy_compute_pj": cost.energy_compute_pj,
+        "energy_rf_pj": cost.energy_rf_pj,
+        "energy_local_pj": cost.energy_local_pj,
+        "energy_noc_pj": cost.energy_noc_pj,
+        "energy_sram_pj": cost.energy_sram_pj,
+        "energy_dram_pj": cost.energy_dram_pj,
+        "energy_overhead_pj": cost.energy_overhead_pj,
+        "utilisation": cost.utilisation,
+        "clock_hz": cost.clock_hz,
+    }
+
+
+def _cost_from_json(payload: Dict[str, object]) -> LayerCost:
+    fields = dict(payload)
+    fields["layer"] = _layer_from_json(fields["layer"])
+    return LayerCost(**fields)
+
+
+def _entry_to_json(key: Tuple, cost: LayerCost) -> Dict[str, object]:
+    # Key layout mirrors ``CostModel._key``: (layer, dataflow name or None,
+    # num_pes, rounded NoC bandwidth in bytes/s, buffer bytes, clock Hz).
+    layer, dataflow_name, num_pes, bandwidth, buffer_bytes, clock_hz = key
+    return {
+        "layer": _layer_to_json(layer),
+        "dataflow": dataflow_name,
+        "num_pes": num_pes,
+        "bandwidth_bytes_per_s": bandwidth,
+        "buffer_bytes": buffer_bytes,
+        "clock_hz": clock_hz,
+        "cost": _cost_to_json(cost),
+    }
+
+
+def _entry_from_json(payload: Dict[str, object]) -> Tuple[Tuple, LayerCost]:
+    key = (
+        _layer_from_json(payload["layer"]),
+        payload["dataflow"],
+        payload["num_pes"],
+        payload["bandwidth_bytes_per_s"],
+        payload["buffer_bytes"],
+        payload["clock_hz"],
+    )
+    return key, _cost_from_json(payload["cost"])
+
+
+class PersistentCostCache:
+    """A cost-model memo that survives process restarts.
+
+    Parameters
+    ----------
+    path:
+        JSON file the memo is spilled to.  A missing file is an empty cache;
+        an unreadable or malformed file is treated as empty as well (the
+        :attr:`corrupted` flag records that this happened).
+    autoload:
+        Load the file immediately (default).  Pass ``False`` to start empty
+        and call :meth:`load` explicitly.
+    """
+
+    def __init__(self, path: str, autoload: bool = True) -> None:
+        self.path = path
+        self.corrupted = False
+        self._entries: Dict[Tuple, LayerCost] = {}
+        self._fingerprint: Optional[str] = None
+        self._dirty = False
+        if autoload:
+            self.load()
+
+    # ------------------------------------------------------------------
+    # File I/O
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """(Re)load entries from :attr:`path`; returns the entry count.
+
+        Any failure — missing file, bad JSON, wrong version, malformed
+        entries — falls back to an empty cache rather than raising, so a
+        corrupted cache file degrades to a cold start.
+        """
+        self._entries = {}
+        self._fingerprint = None
+        self._dirty = False
+        self.corrupted = False
+        if not os.path.exists(self.path):
+            return 0
+        try:
+            with open(self.path, "r") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                raise ValueError(f"unsupported cache version {payload.get('version')!r}")
+            fingerprint = payload["fingerprint"]
+            entries = {}
+            for raw in payload["entries"]:
+                key, cost = _entry_from_json(raw)
+                entries[key] = cost
+            self._fingerprint = fingerprint
+            self._entries = entries
+        # ReproError covers semantically invalid entries (e.g. a hand-edited
+        # layer with k=0, rejected by Layer.__post_init__): corruption of any
+        # kind degrades to a cold start, never to a failed exploration.
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            self._entries = {}
+            self._fingerprint = None
+            self.corrupted = True
+        return len(self._entries)
+
+    def save(self) -> int:
+        """Atomically write all entries to :attr:`path`; returns the count."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": self._fingerprint,
+            "entries": [_entry_to_json(key, cost) for key, cost in self._entries.items()],
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        # Write-then-rename so a crash mid-save leaves the old file intact.
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self._dirty = False
+        return len(self._entries)
+
+    def save_if_dirty(self) -> int:
+        """Save only when entries changed since the last load/save.
+
+        Avoids rewriting a large cache file after a fully warm sweep.  Returns
+        the number of entries written, or ``-1`` when nothing needed saving.
+        """
+        if not self._dirty and not self.corrupted and os.path.exists(self.path):
+            return -1
+        return self.save()
+
+    # ------------------------------------------------------------------
+    # Cost-model exchange
+    # ------------------------------------------------------------------
+    def warm(self, cost_model: CostModel) -> int:
+        """Install every cached entry into ``cost_model``; returns the count.
+
+        Entries persisted under a different cost-model configuration (energy
+        table, RDA style set) are never installed: the cache is discarded and
+        the sweep starts cold instead of silently serving stale costs.
+        """
+        if not self._compatible_with(cost_model):
+            self._entries = {}
+            self._fingerprint = None
+            return 0
+        for key, cost in self._entries.items():
+            cost_model.install_cached(key, cost)
+        return len(self._entries)
+
+    def capture(self, cost_model: CostModel) -> int:
+        """Absorb entries from ``cost_model`` that this cache does not hold yet.
+
+        Returns the number of newly captured entries.  Call :meth:`save`
+        afterwards to persist them.  If the cache was populated under a
+        different cost-model configuration, its stale entries are dropped
+        first.
+        """
+        if not self._compatible_with(cost_model):
+            self._entries = {}
+        self._fingerprint = model_fingerprint(cost_model)
+        new = 0
+        for key, cost in cost_model.cache_items():
+            if key not in self._entries:
+                self._entries[key] = cost
+                new += 1
+        if new:
+            self._dirty = True
+        return new
+
+    def absorb(self, entries: List[Tuple[Tuple, LayerCost]]) -> int:
+        """Merge raw ``(key, cost)`` pairs (e.g. from worker processes)."""
+        new = 0
+        for key, cost in entries:
+            if key not in self._entries:
+                self._entries[key] = cost
+                new += 1
+        if new:
+            self._dirty = True
+        return new
+
+    def _compatible_with(self, cost_model: CostModel) -> bool:
+        return (self._fingerprint is None
+                or self._fingerprint == model_fingerprint(cost_model))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def describe(self) -> str:
+        """One-line description used by the CLI."""
+        state = "corrupted, starting cold" if self.corrupted else f"{len(self)} entries"
+        return f"persistent cost cache at {self.path} ({state})"

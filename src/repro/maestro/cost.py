@@ -15,7 +15,7 @@ design-space sweep re-evaluates the same layers thousands of times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import HardwareConfigError
 from repro.units import cycles_to_seconds, picojoules_to_millijoules
@@ -200,6 +200,8 @@ class CostModel:
         self.energy_table = energy_table
         self.rda_styles: Tuple[DataflowStyle, ...] = tuple(rda_styles)
         self._cache: Dict[Tuple, LayerCost] = {}
+        self.hits = 0
+        self.misses = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -213,7 +215,9 @@ class CostModel:
         key = self._key(layer, sub_accelerator)
         cached = self._cache.get(key)
         if cached is not None:
+            self.hits += 1
             return cached
+        self.misses += 1
 
         if sub_accelerator.is_reconfigurable:
             cost = min(
@@ -247,6 +251,28 @@ class CostModel:
     def cache_size(self) -> int:
         """Number of memoised (layer, hardware) cost entries."""
         return len(self._cache)
+
+    def cache_items(self) -> List[Tuple[Tuple, LayerCost]]:
+        """All memoised entries as ``(key, cost)`` pairs (for cache spilling)."""
+        return list(self._cache.items())
+
+    def install_cached(self, key: Tuple, cost: LayerCost) -> bool:
+        """Pre-populate one memo entry (warm start from a persistent cache).
+
+        Returns ``True`` when the key was not memoised yet.
+        """
+        new = key not in self._cache
+        self._cache[key] = cost
+        return new
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters and current entry count of the memo."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (the memo itself is kept)."""
+        self.hits = 0
+        self.misses = 0
 
     def clear_cache(self) -> None:
         """Drop all memoised results."""

@@ -31,6 +31,42 @@ class TestSchedule:
             main(["schedule", "--design", "tpu"])
 
 
+class TestDse:
+    def test_dse_serial_with_cache_file(self, tmp_path, capsys):
+        cache_file = str(tmp_path / "cache.json")
+        args = ["dse", "--workload", "arvr-a", "--chip", "edge",
+                "--pe-steps", "4", "--bw-steps", "1", "--cache-file", cache_file]
+        assert main(args) == 0
+        cold_output = capsys.readouterr().out
+        assert "best fda" in cold_output
+        assert "cold evaluations" in cold_output
+
+        # Second run starts warm from the cache file: zero cold evaluations,
+        # identical best-design lines.
+        assert main(args) == 0
+        warm_output = capsys.readouterr().out
+        assert "cost model: 0 cold evaluations" in warm_output
+        cold_best = [line for line in cold_output.splitlines() if "best" in line]
+        warm_best = [line for line in warm_output.splitlines() if "best" in line]
+        assert cold_best == warm_best
+
+    def test_dse_parallel_jobs_match_serial(self, tmp_path, capsys):
+        base = ["dse", "--workload", "arvr-a", "--chip", "edge",
+                "--pe-steps", "4", "--bw-steps", "1"]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert "process pool (2 jobs)" in parallel_output
+        serial_best = [line for line in serial_output.splitlines() if "best" in line]
+        parallel_best = [line for line in parallel_output.splitlines() if "best" in line]
+        assert serial_best == parallel_best
+
+    def test_dse_rejects_non_positive_jobs(self, capsys):
+        assert main(["dse", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
