@@ -17,7 +17,11 @@ This package is the paper's primary contribution (Sec. IV):
   reproduces the paper's design-space studies.
 """
 
-from repro.core.schedule import Schedule, ScheduledLayer
+from repro.core.schedule import (
+    LOAD_IMBALANCE_UNUSED_SENTINEL,
+    Schedule,
+    ScheduledLayer,
+)
 from repro.core.scheduler import HeraldScheduler
 from repro.core.greedy import GreedyScheduler
 from repro.core.evaluator import EvaluationResult, evaluate_design
@@ -25,6 +29,7 @@ from repro.core.partitioner import PartitionPoint, PartitionSearch
 from repro.core.dse import DesignSpacePoint, HeraldDSE, DSEResult
 
 __all__ = [
+    "LOAD_IMBALANCE_UNUSED_SENTINEL",
     "Schedule",
     "ScheduledLayer",
     "HeraldScheduler",

@@ -57,12 +57,18 @@ class EvaluationResult:
         return self.schedule.edp
 
     def summary(self) -> Dict[str, float]:
-        """Key metrics as a dictionary used by reports and benchmarks."""
+        """Key metrics as a dictionary used by reports and benchmarks.
+
+        Every value is finite (strict-JSON serializable): the load imbalance
+        comes from :meth:`Schedule.summary`, which substitutes a finite
+        sentinel when a sub-accelerator never runs a layer.
+        """
         return {
             "latency_s": self.latency_s,
             "energy_mj": self.energy_mj,
             "edp_js": self.edp,
             "scheduling_time_s": self.scheduling_time_s,
+            "load_imbalance": self.schedule.load_imbalance_finite(),
         }
 
     def describe(self) -> str:

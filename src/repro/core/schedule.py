@@ -6,17 +6,32 @@ The class provides the accounting the evaluation needs (makespan, energy,
 per-sub-accelerator utilisation, idle time) as well as validation of the two
 hard constraints from Sec. III-A — layer dependence and no overlapping
 execution on one sub-accelerator.
+
+Dependence validation is DAG-aware: when a schedule carries the true
+per-instance predecessor index sets (:attr:`Schedule.instance_predecessors`,
+attached by the scheduler), a layer only has to start after its *actual*
+producers finish, so independent branches of one model may legally overlap on
+different sub-accelerators.  Without that information the historical linear
+chain (layer ``i`` waits on layer ``i-1``) is validated as the degenerate
+case.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SchedulingError
 from repro.maestro.cost import LayerCost
 from repro.models.layer import Layer
 from repro.units import cycles_to_seconds, picojoules_to_millijoules
+
+#: Finite stand-in for an infinite load imbalance (one sub-accelerator never
+#: used) in :meth:`Schedule.summary`.  ``float("inf")`` is not representable in
+#: strict JSON, so report/benchmark dumps serialize this sentinel instead; any
+#: real imbalance is >= 1.0, so the sentinel is unambiguous.
+LOAD_IMBALANCE_UNUSED_SENTINEL = -1.0
 
 
 @dataclass(frozen=True)
@@ -67,13 +82,29 @@ class ScheduledLayer:
 
 @dataclass
 class Schedule:
-    """A complete layer-execution schedule for one workload on one design."""
+    """A complete layer-execution schedule for one workload on one design.
+
+    ``instance_predecessors`` optionally maps an instance id to its per-layer
+    predecessor index sets (element ``i`` holds the layer indices layer ``i``
+    consumes).  Instances present in the map are validated against their true
+    dependence DAG; instances absent from it fall back to the linear-chain
+    check.
+    """
 
     sub_accelerator_names: Tuple[str, ...]
     entries: List[ScheduledLayer] = field(default_factory=list)
     clock_hz: float = 1.0e9
     idle_energy_pj_per_cycle_per_pe: float = 0.0
     pes_per_sub_accelerator: Dict[str, int] = field(default_factory=dict)
+    instance_predecessors: Dict[str, Tuple[FrozenSet[int], ...]] = \
+        field(default_factory=dict)
+    #: Per-sub-accelerator timeline/busy-time memo; rebuilt whenever the entry
+    #: count changes (see :meth:`_sync_caches`).
+    _timeline_cache: Dict[str, List[ScheduledLayer]] = \
+        field(default_factory=dict, init=False, repr=False, compare=False)
+    _busy_cache: Dict[str, float] = \
+        field(default_factory=dict, init=False, repr=False, compare=False)
+    _cache_entry_count: int = field(default=-1, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -89,7 +120,13 @@ class Schedule:
             raise SchedulingError(
                 f"schedule entry for {entry.layer.name!r} finishes before it starts"
             )
+        # Sync first: a direct ``entries`` mutation since the last access must
+        # not be masked by the entry-count update below.
+        self._sync_caches()
         self.entries.append(entry)
+        self._timeline_cache.pop(entry.sub_accelerator, None)
+        self._busy_cache.pop(entry.sub_accelerator, None)
+        self._cache_entry_count = len(self.entries)
 
     def extend(self, entries: Iterable[ScheduledLayer]) -> None:
         """Append several execution records."""
@@ -148,12 +185,32 @@ class Schedule:
         """Energy-delay product in joule-seconds."""
         return (self.total_energy_pj * 1e-12) * self.makespan_seconds
 
+    def _sync_caches(self) -> None:
+        """Drop memoised timelines when ``entries`` changed behind our back.
+
+        :meth:`add` invalidates precisely; this length check additionally
+        catches append/remove-style direct ``entries`` mutation.  A same-length
+        in-place replacement is not detectable this way — construct through
+        :meth:`add`/:meth:`extend` (or rebuild the schedule) when editing
+        records.
+        """
+        if self._cache_entry_count != len(self.entries):
+            self._timeline_cache.clear()
+            self._busy_cache.clear()
+            self._cache_entry_count = len(self.entries)
+
     def entries_for(self, sub_accelerator: str) -> List[ScheduledLayer]:
         """Execution records of one sub-accelerator, ordered by start time."""
-        return sorted(
-            (entry for entry in self.entries if entry.sub_accelerator == sub_accelerator),
-            key=lambda entry: (entry.start_cycle, entry.finish_cycle),
-        )
+        self._sync_caches()
+        timeline = self._timeline_cache.get(sub_accelerator)
+        if timeline is None:
+            timeline = sorted(
+                (entry for entry in self.entries
+                 if entry.sub_accelerator == sub_accelerator),
+                key=lambda entry: (entry.start_cycle, entry.finish_cycle),
+            )
+            self._timeline_cache[sub_accelerator] = timeline
+        return list(timeline)
 
     def entries_for_instance(self, instance_id: str) -> List[ScheduledLayer]:
         """Execution records of one model instance, ordered by layer index."""
@@ -164,7 +221,13 @@ class Schedule:
 
     def busy_cycles(self, sub_accelerator: str) -> float:
         """Total cycles the sub-accelerator spends executing layers."""
-        return sum(entry.duration_cycles for entry in self.entries_for(sub_accelerator))
+        self._sync_caches()
+        busy = self._busy_cache.get(sub_accelerator)
+        if busy is None:
+            busy = sum(entry.duration_cycles for entry in self.entries
+                       if entry.sub_accelerator == sub_accelerator)
+            self._busy_cache[sub_accelerator] = busy
+        return busy
 
     def idle_cycles(self, sub_accelerator: str) -> float:
         """Cycles the sub-accelerator is idle before the schedule completes."""
@@ -190,6 +253,17 @@ class Schedule:
             return float("inf") if largest > 0 else 1.0
         return largest / smallest
 
+    def load_imbalance_finite(self) -> float:
+        """:meth:`load_imbalance`, with infinity mapped to the finite sentinel.
+
+        Report/benchmark dumps use this so their dictionaries stay strict-JSON
+        serializable (``json.dumps(..., allow_nan=False)``).
+        """
+        imbalance = self.load_imbalance() if self.entries else 1.0
+        if math.isinf(imbalance):
+            return LOAD_IMBALANCE_UNUSED_SENTINEL
+        return imbalance
+
     def layer_counts(self) -> Dict[str, int]:
         """Number of layers executed per sub-accelerator."""
         counts = {name: 0 for name in self.sub_accelerator_names}
@@ -204,8 +278,10 @@ class Schedule:
         """Check the schedule against the hard constraints of Sec. III-A.
 
         * no two layers overlap on the same sub-accelerator;
-        * layers of one model instance execute in dependence order, and a layer
-          never starts before its predecessor finishes;
+        * a layer never starts before its producers finish — against the true
+          dependence DAG for instances with an :attr:`instance_predecessors`
+          entry, and against the linear chain (layer ``i`` waits on layer
+          ``i-1``) as the degenerate case otherwise;
         * if ``expected_layers`` (instance id -> layer count) is supplied, every
           instance is fully scheduled exactly once.
 
@@ -240,17 +316,53 @@ class Schedule:
                 raise SchedulingError(
                     f"instance {instance_id!r}: a layer index is scheduled more than once"
                 )
-            for previous, current in zip(chain, chain[1:]):
-                if current.layer_index != previous.layer_index + 1:
+            predecessors = self.instance_predecessors.get(instance_id)
+            if predecessors is not None:
+                self._validate_dag_dependences(instance_id, chain, predecessors)
+            else:
+                self._validate_chain_dependences(instance_id, chain)
+
+    def _validate_dag_dependences(self, instance_id: str,
+                                  chain: Sequence[ScheduledLayer],
+                                  predecessors: Sequence[FrozenSet[int]]) -> None:
+        """Every layer starts only after each of its true producers finishes."""
+        by_index = {entry.layer_index: entry for entry in chain}
+        for entry in chain:
+            if not 0 <= entry.layer_index < len(predecessors):
+                raise SchedulingError(
+                    f"instance {instance_id!r}: layer index {entry.layer_index} is "
+                    f"outside the instance's {len(predecessors)} layers"
+                )
+            for producer_index in sorted(predecessors[entry.layer_index]):
+                producer = by_index.get(producer_index)
+                if producer is None:
                     raise SchedulingError(
-                        f"instance {instance_id!r}: layer indices are not contiguous "
-                        f"({previous.layer_index} followed by {current.layer_index})"
+                        f"instance {instance_id!r}: layer {entry.layer.name!r} is "
+                        f"scheduled but its producer (layer index {producer_index}) "
+                        f"is not"
                     )
-                if current.start_cycle < previous.finish_cycle - 1e-6:
+                if entry.start_cycle < producer.finish_cycle - 1e-6:
                     raise SchedulingError(
-                        f"instance {instance_id!r}: layer {current.layer.name!r} starts "
-                        f"before its predecessor {previous.layer.name!r} finishes"
+                        f"instance {instance_id!r}: layer {entry.layer.name!r} starts "
+                        f"at {entry.start_cycle:.0f} before its producer "
+                        f"{producer.layer.name!r} finishes at "
+                        f"{producer.finish_cycle:.0f}"
                     )
+
+    def _validate_chain_dependences(self, instance_id: str,
+                                    chain: Sequence[ScheduledLayer]) -> None:
+        """Degenerate case: no dependence info, require the linear chain."""
+        for previous, current in zip(chain, chain[1:]):
+            if current.layer_index != previous.layer_index + 1:
+                raise SchedulingError(
+                    f"instance {instance_id!r}: layer indices are not contiguous "
+                    f"({previous.layer_index} followed by {current.layer_index})"
+                )
+            if current.start_cycle < previous.finish_cycle - 1e-6:
+                raise SchedulingError(
+                    f"instance {instance_id!r}: layer {current.layer.name!r} starts "
+                    f"before its predecessor {previous.layer.name!r} finishes"
+                )
 
     def _validate_completeness(self, expected_layers: Dict[str, int]) -> None:
         scheduled: Dict[str, int] = {}
@@ -273,13 +385,19 @@ class Schedule:
     # Reporting
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, float]:
-        """Key metrics as a dictionary (used by reports and benchmarks)."""
+        """Key metrics as a dictionary (used by reports and benchmarks).
+
+        All values are finite: an infinite load imbalance (a sub-accelerator
+        that never runs a layer) is reported as
+        :data:`LOAD_IMBALANCE_UNUSED_SENTINEL` so the dictionary survives
+        strict-JSON serialization (``json.dumps(..., allow_nan=False)``).
+        """
         return {
             "latency_s": self.makespan_seconds,
             "energy_mj": self.total_energy_mj,
             "edp_js": self.edp,
             "num_layers": float(len(self.entries)),
-            "load_imbalance": self.load_imbalance() if self.entries else 1.0,
+            "load_imbalance": self.load_imbalance_finite(),
         }
 
     def describe(self, max_entries: int = 20) -> str:

@@ -19,6 +19,14 @@ The scheduler works in two steps, mirroring the paper:
    sub-accelerator becomes free, it starts the earliest *ready* layer assigned
    to it, skipping over layers whose dependences are still outstanding.
 
+Both phases are DAG-aware: readiness and start times derive from the true
+per-layer predecessor sets the model graphs expose (Sec. III-A's hard
+constraint is that a layer waits only for its *actual* producers), so
+independent branches of one model — UNet-style skip paths, parallel detection
+heads — may overlap across sub-accelerators.  On linear-chain models every
+predecessor set is ``{i-1}`` and the behaviour is bit-for-bit the historical
+chain scheduling.
+
 Both phases use the MAESTRO-based cost model for per-layer latency/energy, so
 the same scheduler serves monolithic designs (FDA / RDA, one sub-accelerator)
 and multi-sub-accelerator designs (SM-FDA / HDA).
@@ -27,7 +35,7 @@ and multi-sub-accelerator designs (SM-FDA / HDA).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SchedulingError
 from repro.maestro.cost import CostModel, LayerCost, metric_value
@@ -46,7 +54,12 @@ METRICS = ("edp", "latency", "energy")
 
 @dataclass
 class _Assignment:
-    """One layer-to-sub-accelerator assignment produced by the initial step."""
+    """One layer-to-sub-accelerator assignment produced by the initial step.
+
+    ``predecessors`` holds the layer indices this layer waits on (its true
+    producers), so the timeline builders check readiness without re-deriving
+    the dependence structure per iteration.
+    """
 
     order_index: int
     instance_id: str
@@ -54,16 +67,32 @@ class _Assignment:
     layer: Layer
     sub_accelerator: str
     cost: LayerCost
+    predecessors: Tuple[int, ...] = ()
+    #: List-schedule scratch state: producers not yet finished, and the latest
+    #: finish cycle among those that have (reset per timeline construction).
+    unmet_producers: int = 0
+    data_ready_cycle: float = 0.0
 
 
 @dataclass
 class _InstanceState:
-    """Mutable scheduling state of one model instance."""
+    """Mutable scheduling state of one model instance.
+
+    ``predecessors`` / ``successors`` are the instance's per-layer dependence
+    index sets (aligned with ``layers``); the initial assignment walks
+    ``layers`` in dependence order, so indices below ``next_index`` are exactly
+    the already-scheduled layers.
+    """
 
     instance: ModelInstance
     layers: List[Layer]
+    predecessors: Tuple[FrozenSet[int], ...]
+    successors: Tuple[FrozenSet[int], ...]
     next_index: int = 0
-    ready_cycle: float = 0.0
+    #: Produced tensors still awaiting a consumer: layer index -> bytes.
+    #: Maintained incrementally by :meth:`advance` so the memory check stays
+    #: proportional to the (small) live set, not the scheduled prefix.
+    live_outputs: Dict[int, int] = field(default_factory=dict)
 
     @property
     def exhausted(self) -> bool:
@@ -73,13 +102,37 @@ class _InstanceState:
     def head(self) -> Layer:
         return self.layers[self.next_index]
 
-    @property
-    def live_bytes(self) -> int:
-        """Approximate live activation footprint of the instance."""
-        if self.next_index == 0 or self.exhausted:
-            return 0
-        produced = self.layers[self.next_index - 1]
-        return produced.output_elements * BYTES_PER_ELEMENT
+    def advance(self) -> None:
+        """Commit the head layer: step ``next_index`` and update liveness.
+
+        A tensor stays live until its *last* consumer has been scheduled — on a
+        chain that is only the most recent output, but a skip-connection tensor
+        remains live across the whole branch it skips.
+        """
+        committed = self.next_index
+        self.next_index += 1
+        # Tensors whose final consumer was the committed layer retire now.
+        for index in [index for index in self.live_outputs
+                      if committed in self.successors[index]
+                      and not any(consumer >= self.next_index
+                                  for consumer in self.successors[index])]:
+            del self.live_outputs[index]
+        # The committed layer's own output goes live while consumers remain.
+        if any(consumer >= self.next_index for consumer in self.successors[committed]):
+            self.live_outputs[committed] = (
+                self.layers[committed].output_elements * BYTES_PER_ELEMENT)
+
+    def live_bytes(self, exclude_consumers_of: Optional[int] = None) -> int:
+        """Global-buffer bytes of produced tensors still awaiting a consumer.
+
+        ``exclude_consumers_of`` drops tensors consumed by that (about-to-run)
+        layer index, whose bytes the caller already accounts for as the
+        layer's input.
+        """
+        if exclude_consumers_of is None:
+            return sum(self.live_outputs.values())
+        return sum(size for index, size in self.live_outputs.items()
+                   if exclude_consumers_of not in self.successors[index])
 
 
 class HeraldScheduler:
@@ -134,14 +187,15 @@ class HeraldScheduler:
         """Produce a validated schedule of ``workload`` on ``sub_accelerators``."""
         if not sub_accelerators:
             raise SchedulingError("cannot schedule onto an empty sub-accelerator list")
+        instances = workload.instances()
+        dependences = workload.instance_dependences()
         assignments = self._initial_assignment(workload, sub_accelerators)
         if self.enable_post_processing:
             schedule = self._list_schedule(assignments, sub_accelerators)
         else:
             schedule = self._replay_initial_order(assignments, sub_accelerators)
-        expected = {
-            instance.instance_id: instance.num_layers for instance in workload.instances()
-        }
+        schedule.instance_predecessors = dependences
+        expected = {instance.instance_id: instance.num_layers for instance in instances}
         schedule.validate(expected_layers=expected)
         return schedule
 
@@ -153,51 +207,64 @@ class HeraldScheduler:
                             ) -> List[_Assignment]:
         states = [
             _InstanceState(instance=instance,
-                           layers=instance.layers_in_dependence_order())
+                           layers=instance.layers_in_dependence_order(),
+                           predecessors=instance.predecessor_indices(),
+                           successors=instance.successor_indices())
             for instance in workload.instances()
         ]
-        acc_by_name = {acc.name: acc for acc in sub_accelerators}
         busy_cycles: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
         assignments: List[_Assignment] = []
         self.last_memory_violations = 0
 
-        order_index = 0
         visit_queue = list(range(len(states)))
+
+        def commit(state: _InstanceState, position: int) -> None:
+            layer = state.head
+            acc_name, cost = self._choose_sub_accelerator(layer, sub_accelerators,
+                                                          busy_cycles)
+            assignments.append(_Assignment(
+                order_index=len(assignments),
+                instance_id=state.instance.instance_id,
+                layer_index=state.next_index,
+                layer=layer,
+                sub_accelerator=acc_name,
+                cost=cost,
+                predecessors=tuple(sorted(state.predecessors[state.next_index])),
+            ))
+            busy_cycles[acc_name] += cost.latency_cycles
+            state.advance()
+            self._rotate(visit_queue, position, state.exhausted)
+
         while any(not state.exhausted for state in states):
             progressed = False
+            deferred_position: Optional[int] = None
             for position, state_index in enumerate(visit_queue):
                 state = states[state_index]
                 if state.exhausted:
                     continue
-                layer = state.head
-                choice = self._choose_sub_accelerator(layer, sub_accelerators, busy_cycles)
-                if choice is None:
+                if not self._memory_allows(states, state, state.head):
+                    # Defer this instance: another ready instance may fit in the
+                    # remaining global-buffer budget (Fig. 8's memory check).
+                    if deferred_position is None:
+                        deferred_position = position
                     continue
-                acc_name, cost = choice
-                if not self._memory_allows(states, state, layer):
-                    self.last_memory_violations += 1
-                assignments.append(_Assignment(
-                    order_index=order_index,
-                    instance_id=state.instance.instance_id,
-                    layer_index=state.next_index,
-                    layer=layer,
-                    sub_accelerator=acc_name,
-                    cost=cost,
-                ))
-                busy_cycles[acc_name] += cost.latency_cycles
-                state.next_index += 1
-                order_index += 1
+                commit(state, position)
                 progressed = True
-                self._rotate(visit_queue, position, state.exhausted)
                 break
             if not progressed:
-                raise SchedulingError("scheduler made no progress; this indicates a bug")
+                if deferred_position is None:
+                    raise SchedulingError(
+                        "scheduler made no progress; this indicates a bug")
+                # No ready instance fits: DRAM-spill fallback — schedule the
+                # first deferred head anyway and record the violation.
+                self.last_memory_violations += 1
+                commit(states[visit_queue[deferred_position]], deferred_position)
         return assignments
 
     def _choose_sub_accelerator(self, layer: Layer,
                                 sub_accelerators: Sequence[SubAcceleratorConfig],
                                 busy_cycles: Dict[str, float]
-                                ) -> Optional[Tuple[str, LayerCost]]:
+                                ) -> Tuple[str, LayerCost]:
         """Pick the sub-accelerator for a layer (preference plus load balance)."""
         ranked: List[Tuple[float, str, LayerCost]] = []
         for acc in sub_accelerators:
@@ -231,10 +298,19 @@ class HeraldScheduler:
 
     def _memory_allows(self, states: Sequence[_InstanceState], current: _InstanceState,
                        layer: Layer) -> bool:
-        """Check the global-buffer occupancy condition of Fig. 8."""
+        """Check the global-buffer occupancy condition of Fig. 8.
+
+        Live bytes follow last-consumer semantics: a produced tensor occupies
+        the buffer until every layer consuming it has been scheduled, so skip
+        tensors are charged across the whole branch they bypass.  The current
+        instance's tensors that ``layer`` consumes are excluded from the live
+        set — their bytes are already counted in ``required`` as the layer's
+        input.
+        """
         if self.memory_limit_bytes is None:
             return True
-        live = sum(state.live_bytes for state in states if state is not current)
+        live = sum(state.live_bytes() for state in states if state is not current)
+        live += current.live_bytes(exclude_consumers_of=current.next_index)
         required = (layer.input_elements + layer.output_elements) * BYTES_PER_ELEMENT
         return live + required <= self.memory_limit_bytes
 
@@ -257,20 +333,26 @@ class HeraldScheduler:
         The layer-to-sub-accelerator assignment is kept, but whenever a
         sub-accelerator becomes free it starts the earliest *ready* layer
         assigned to it, which removes the idle gaps a strict initial order
-        would create.
+        would create.  A layer is ready once every one of its true producers
+        has been scheduled, and it starts no earlier than the
+        latest producer finish — so independent branches of one instance may
+        run concurrently on different sub-accelerators.
         """
         schedule = self._empty_schedule(sub_accelerators)
         pending: Dict[str, List[_Assignment]] = {acc.name: [] for acc in sub_accelerators}
+        #: Consumers of each produced tensor, keyed (instance id, layer index);
+        #: finishing a layer decrements its consumers' unmet-producer counts.
+        consumers: Dict[Tuple[str, int], List[_Assignment]] = {}
         for assignment in assignments:
             pending[assignment.sub_accelerator].append(assignment)
+            assignment.unmet_producers = len(assignment.predecessors)
+            assignment.data_ready_cycle = 0.0
+            for producer in assignment.predecessors:
+                consumers.setdefault((assignment.instance_id, producer),
+                                     []).append(assignment)
         for queue in pending.values():
             queue.sort(key=lambda a: a.order_index)
 
-        instance_next: Dict[str, int] = {}
-        instance_ready: Dict[str, float] = {}
-        for assignment in assignments:
-            instance_next.setdefault(assignment.instance_id, 0)
-            instance_ready.setdefault(assignment.instance_id, 0.0)
         acc_avail: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
 
         remaining = len(assignments)
@@ -278,10 +360,12 @@ class HeraldScheduler:
             best_key: Optional[Tuple[float, int]] = None
             best_choice: Optional[Tuple[str, _Assignment]] = None
             for acc_name, queue in pending.items():
+                avail = acc_avail[acc_name]
                 for assignment in queue:
-                    if assignment.layer_index != instance_next[assignment.instance_id]:
+                    if assignment.unmet_producers:
                         continue
-                    start = max(acc_avail[acc_name], instance_ready[assignment.instance_id])
+                    data_ready = assignment.data_ready_cycle
+                    start = avail if avail >= data_ready else data_ready
                     key = (start, assignment.order_index)
                     if best_key is None or key < best_key:
                         best_key = key
@@ -303,21 +387,36 @@ class HeraldScheduler:
                 cost=assignment.cost,
             ))
             acc_avail[acc_name] = finish
-            instance_ready[assignment.instance_id] = finish
-            instance_next[assignment.instance_id] += 1
+            for consumer in consumers.get(
+                    (assignment.instance_id, assignment.layer_index), ()):
+                consumer.unmet_producers -= 1
+                if finish > consumer.data_ready_cycle:
+                    consumer.data_ready_cycle = finish
             pending[acc_name].remove(assignment)
             remaining -= 1
         return schedule
 
     def _replay_initial_order(self, assignments: Sequence[_Assignment],
-                              sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
-        """Build the timeline strictly in initial-assignment order (no gap filling)."""
+                              sub_accelerators: Sequence[SubAcceleratorConfig]
+                              ) -> Schedule:
+        """Build the timeline strictly in initial-assignment order (no gap filling).
+
+        Start times still honour the true dependence DAG: a layer starts at the
+        later of its sub-accelerator becoming free and its slowest producer
+        finishing (not simply the instance's previously issued layer).
+        """
         schedule = self._empty_schedule(sub_accelerators)
         acc_avail: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
-        instance_ready: Dict[str, float] = {}
+        finish_times: Dict[str, Dict[int, float]] = {
+            assignment.instance_id: {} for assignment in assignments
+        }
         for assignment in sorted(assignments, key=lambda a: a.order_index):
-            ready = instance_ready.get(assignment.instance_id, 0.0)
-            start = max(acc_avail[assignment.sub_accelerator], ready)
+            done = finish_times[assignment.instance_id]
+            start = acc_avail[assignment.sub_accelerator]
+            for producer in assignment.predecessors:
+                producer_finish = done[producer]
+                if producer_finish > start:
+                    start = producer_finish
             finish = start + assignment.cost.latency_cycles
             schedule.add(ScheduledLayer(
                 layer=assignment.layer,
@@ -329,7 +428,7 @@ class HeraldScheduler:
                 cost=assignment.cost,
             ))
             acc_avail[assignment.sub_accelerator] = finish
-            instance_ready[assignment.instance_id] = finish
+            done[assignment.layer_index] = finish
         return schedule
 
     def _empty_schedule(self, sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:

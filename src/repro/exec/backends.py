@@ -43,6 +43,23 @@ class ExecutionBackend(Protocol):
         ...
 
 
+def _ensure_unique_task_ids(tasks: Sequence[EvaluationTask]) -> None:
+    """Reject submissions where two tasks share a ``task_id``.
+
+    Backends re-order results through a task_id -> result map, so duplicate
+    ids would silently collapse two tasks into one result.  Both backends
+    validate so they stay interchangeable on the same input.
+    """
+    seen_ids = set()
+    for task in tasks:
+        if task.task_id in seen_ids:
+            raise SearchError(
+                f"duplicate task_id {task.task_id} in submission; task ids "
+                f"must be unique within one run"
+            )
+        seen_ids.add(task.task_id)
+
+
 class _CacheMixin:
     """Shared persistent-cache plumbing for backends."""
 
@@ -99,6 +116,7 @@ class SerialBackend(_CacheMixin):
 
     def run(self, tasks: Sequence[EvaluationTask]) -> List[EvaluationResult]:
         """Execute ``tasks`` one after another on the shared cost model."""
+        _ensure_unique_task_ids(tasks)
         self._warm_from_cache()
         misses_before = self.cost_model.misses
         hits_before = self.cost_model.hits
@@ -212,6 +230,7 @@ class ProcessPoolBackend(_CacheMixin):
             self.last_cache_hits = 0
             self.last_new_cache_entries = 0
             return []
+        _ensure_unique_task_ids(tasks)
         self._warm_from_cache()
         chunks = self._chunk(list(tasks))
         context = multiprocessing.get_context(self.start_method)

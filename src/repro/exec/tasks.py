@@ -5,7 +5,10 @@ A design-space exploration is, at its core, a large bag of independent
 one such job declaratively — design, workload, and bookkeeping metadata — so a
 backend can execute it anywhere: in-process, in a worker process, or (later) on
 a remote machine.  Tasks are plain picklable dataclasses; everything they embed
-(designs, workloads, dataflow styles) pickles cleanly.
+(designs, workloads, dataflow styles) pickles cleanly — including the
+per-layer predecessor/successor index sets of DAG-shaped models, so pool
+workers schedule skip connections and parallel branches exactly as the serial
+backend does.
 """
 
 from __future__ import annotations

@@ -3,14 +3,18 @@
 The scheduler in the paper exploits two structural properties of multi-DNN
 workloads (Sec. IV-D): layers form a mostly-linear dependence chain inside a
 model, and layers of different models are independent.  :class:`ModelGraph`
-supports arbitrary DAGs (skip connections, concatenations) but exposes the
-linearised *dependence order* that Herald's heuristics operate on.
+supports arbitrary DAGs (skip connections, concatenations): it exposes both
+the linearised *dependence order* that Herald's heuristics visit layers in and
+the per-layer predecessor/successor *index sets*
+(:meth:`ModelGraph.predecessor_indices` / :meth:`ModelGraph.successor_indices`)
+the scheduling stack uses so a layer only ever waits for its actual producers
+— parallel branches of one model may overlap across sub-accelerators.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.exceptions import GraphError
 from repro.models.layer import Layer, layer_heterogeneity
@@ -31,6 +35,9 @@ class ModelGraph:
     _order: List[str] = field(default_factory=list)
     _successors: Dict[str, Set[str]] = field(default_factory=dict)
     _predecessors: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Memoised derived structures (dependence order, index sets); cleared on
+    #: every mutation so the graph stays freely editable.
+    _derived: Dict[str, object] = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -48,6 +55,7 @@ class ModelGraph:
         self._order.append(layer.name)
         self._successors.setdefault(layer.name, set())
         self._predecessors.setdefault(layer.name, set())
+        self._derived.clear()
         return layer
 
     def add_edge(self, producer: str, consumer: str) -> None:
@@ -62,9 +70,11 @@ class ModelGraph:
             raise GraphError(f"model {self.name!r}: self-edge on {producer!r}")
         self._successors[producer].add(consumer)
         self._predecessors[consumer].add(producer)
+        self._derived.clear()
         if self._has_cycle():
             self._successors[producer].discard(consumer)
             self._predecessors[consumer].discard(producer)
+            self._derived.clear()
             raise GraphError(
                 f"model {self.name!r}: edge ({producer!r} -> {consumer!r}) creates a cycle"
             )
@@ -124,23 +134,67 @@ class ModelGraph:
         """Topological order of the layers, stable with respect to insertion order.
 
         This is the linearised order the Herald scheduler consumes: executing
-        layers in this order never violates a dependence.
+        layers in this order never violates a dependence.  The order (and the
+        index sets derived from it) is memoised until the graph is mutated.
         """
-        in_degree = {name: len(self._predecessors[name]) for name in self._order}
-        ready = [name for name in self._order if in_degree[name] == 0]
-        result: List[str] = []
-        while ready:
-            current = ready.pop(0)
-            result.append(current)
-            for successor in sorted(self._successors[current]):
-                in_degree[successor] -= 1
-                if in_degree[successor] == 0:
-                    # Preserve insertion order among newly-ready layers.
-                    ready.append(successor)
-                    ready.sort(key=self._order.index)
-        if len(result) != len(self._order):
-            raise GraphError(f"model {self.name!r}: dependence graph contains a cycle")
-        return [self._layers[name] for name in result]
+        return [self._layers[name] for name in self._dependence_order_names()]
+
+    def _dependence_order_names(self) -> Tuple[str, ...]:
+        cached = self._derived.get("order")
+        if cached is None:
+            position = {name: index for index, name in enumerate(self._order)}
+            in_degree = {name: len(self._predecessors[name]) for name in self._order}
+            ready = [name for name in self._order if in_degree[name] == 0]
+            result: List[str] = []
+            while ready:
+                current = ready.pop(0)
+                result.append(current)
+                for successor in sorted(self._successors[current]):
+                    in_degree[successor] -= 1
+                    if in_degree[successor] == 0:
+                        # Preserve insertion order among newly-ready layers.
+                        ready.append(successor)
+                        ready.sort(key=position.__getitem__)
+            if len(result) != len(self._order):
+                raise GraphError(f"model {self.name!r}: dependence graph contains a cycle")
+            cached = tuple(result)
+            self._derived["order"] = cached
+        return cached
+
+    def _index_sets(self, cache_key: str,
+                    edges: Dict[str, Set[str]]) -> Tuple[FrozenSet[int], ...]:
+        """Memoised per-layer neighbour positions in dependence order."""
+        cached = self._derived.get(cache_key)
+        if cached is None:
+            order = self._dependence_order_names()
+            position = {name: index for index, name in enumerate(order)}
+            cached = tuple(
+                frozenset(position[neighbour] for neighbour in edges[name])
+                for name in order
+            )
+            self._derived[cache_key] = cached
+        return cached
+
+    def predecessor_indices(self) -> Tuple[FrozenSet[int], ...]:
+        """Per-layer producer positions, aligned with :meth:`dependence_order`.
+
+        Element ``i`` is the set of dependence-order positions of the layers
+        that layer ``i`` consumes.  A linear chain yields ``{i-1}`` for every
+        layer but the first; skip connections and concatenations contribute
+        extra (earlier) positions.  The tuple is immutable and picklable, so
+        it travels with workloads to pool workers.
+        """
+        return self._index_sets("predecessor_indices", self._predecessors)
+
+    def successor_indices(self) -> Tuple[FrozenSet[int], ...]:
+        """Per-layer consumer positions, aligned with :meth:`dependence_order`.
+
+        Element ``i`` is the set of dependence-order positions of the layers
+        that consume layer ``i``'s output; empty for terminal layers.  The
+        scheduler's buffer accounting keeps a tensor live until its *last*
+        consumer has been scheduled.
+        """
+        return self._index_sets("successor_indices", self._successors)
 
     def _has_cycle(self) -> bool:
         try:

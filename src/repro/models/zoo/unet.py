@@ -67,4 +67,12 @@ def build_unet(input_size: int = 572, base_channels: int = 64,
         in_channels = out_channels
 
     layers.append(pwconv("head", k=num_classes, c=in_channels, y=y, x=y))
-    return ModelGraph.from_layers("unet", layers)
+    graph = ModelGraph.from_layers("unet", layers)
+    # Skip connections: each decoder level concatenates the matching encoder
+    # output, so dec{L}_conv1 truly consumes enc{L}_conv2 — the encoder tensor
+    # stays live in the global buffer until the decoder reaches it.  The
+    # sequential chain already orders encoder before decoder, so these extra
+    # edges change buffer accounting, not the schedule of the chain itself.
+    for level in range(1, 5):
+        graph.add_edge(f"enc{level}_conv2", f"dec{level}_conv1")
+    return graph

@@ -2,15 +2,18 @@
 
 Following Table II, a workload is a list of (model, number of batches).  Each
 batch is an independent inference request, so it becomes an independent
-*model instance* with its own dependence chain; instances of different models
+*model instance* with its own dependence DAG; instances of different models
 (and different batches of the same model) can execute in parallel on different
-sub-accelerators, which is the layer parallelism HDAs exploit.
+sub-accelerators, which is the layer parallelism HDAs exploit.  Within one
+instance, independent branches (skip connections, parallel heads) may also
+overlap — each instance exposes its per-layer predecessor index sets so the
+scheduler only serializes true producer→consumer pairs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import WorkloadError
 from repro.models.graph import ModelGraph
@@ -46,6 +49,20 @@ class ModelInstance:
     def layers_in_dependence_order(self) -> List[Layer]:
         """Layers of this instance in a dependence-respecting order."""
         return self.model.dependence_order()
+
+    def predecessor_indices(self) -> Tuple[FrozenSet[int], ...]:
+        """Per-layer producer positions, aligned with the dependence order.
+
+        Element ``i`` is the set of dependence-order positions layer ``i``
+        waits on — ``{i-1}`` for a linear chain, more for skip connections and
+        concatenations.  Immutable and picklable, so it ships with evaluation
+        tasks to pool workers.
+        """
+        return self.model.predecessor_indices()
+
+    def successor_indices(self) -> Tuple[FrozenSet[int], ...]:
+        """Per-layer consumer positions, aligned with the dependence order."""
+        return self.model.successor_indices()
 
 
 @dataclass
@@ -133,6 +150,18 @@ class WorkloadSpec:
         """Total MAC count of the workload."""
         return sum(self.model_graph(model_name).total_macs * batches
                    for model_name, batches in self.entries)
+
+    def instance_dependences(self) -> Dict[str, Tuple[FrozenSet[int], ...]]:
+        """Per-instance predecessor index sets, keyed by instance id.
+
+        This is the true dependence structure (one entry per layer, aligned
+        with the dependence order) the scheduler threads through schedule
+        construction and validation.
+        """
+        return {
+            instance.instance_id: instance.predecessor_indices()
+            for instance in self.instances()
+        }
 
     def all_layers(self) -> List[Layer]:
         """Every layer execution in the workload (duplicated across batches)."""

@@ -32,7 +32,7 @@ class TestEvaluator:
         result = evaluate_design(make_fda(tiny_chip, NVDLA), small_workload,
                                  cost_model=cost_model)
         assert set(result.summary()) == {"latency_s", "energy_mj", "edp_js",
-                                         "scheduling_time_s"}
+                                         "scheduling_time_s", "load_imbalance"}
         assert "fda-nvdla" in result.describe()
 
     def test_custom_scheduler_is_used(self, cost_model, small_workload, tiny_chip):

@@ -80,6 +80,14 @@ class TestSerialBackend:
         assert backend.last_cold_evaluations == 0
         assert backend.last_cache_hits > 0
 
+    def test_duplicate_task_ids_rejected_like_pool_backend(self, tiny_chip,
+                                                           small_workload):
+        # Both backends must stay interchangeable on the same input.
+        tasks = [EvaluationTask(3, make_fda(tiny_chip, NVDLA), small_workload),
+                 EvaluationTask(3, make_fda(tiny_chip, SHIDIANNAO), small_workload)]
+        with pytest.raises(SearchError, match="duplicate task_id"):
+            SerialBackend().run(tasks)
+
 
 class TestProcessPoolBackend:
     def test_rejects_bad_parameters(self):
@@ -118,6 +126,16 @@ class TestProcessPoolBackend:
 
     def test_empty_task_list(self):
         assert ProcessPoolBackend(jobs=2).run([]) == []
+
+    def test_duplicate_task_ids_rejected_before_dispatch(self, tiny_chip,
+                                                         small_workload):
+        # Results are restored through a task_id -> result map, so duplicate
+        # ids would silently drop a result; they must fail fast instead.
+        tasks = [EvaluationTask(0, make_fda(tiny_chip, NVDLA), small_workload),
+                 EvaluationTask(0, make_fda(tiny_chip, SHIDIANNAO), small_workload)]
+        backend = ProcessPoolBackend(jobs=2)
+        with pytest.raises(SearchError, match="duplicate task_id"):
+            backend.run(tasks)
 
 
 class TestPersistentCostCache:

@@ -1,8 +1,14 @@
 """Tests for the schedule data structures, accounting, and validation."""
 
+import json
+
 import pytest
 
-from repro.core.schedule import Schedule, ScheduledLayer
+from repro.core.schedule import (
+    LOAD_IMBALANCE_UNUSED_SENTINEL,
+    Schedule,
+    ScheduledLayer,
+)
 from repro.exceptions import SchedulingError
 from repro.maestro.cost import CostModel
 from repro.maestro.hardware import SubAcceleratorConfig
@@ -112,6 +118,51 @@ class TestAccounting:
 
     def test_describe_contains_counts(self):
         assert "3 layer executions" in self._populated().describe()
+
+    def test_unused_sub_accelerator_summary_is_strict_json(self):
+        # One sub-accelerator never runs a layer: load_imbalance() is inf, but
+        # summary() must stay finite so strict-JSON dumps don't blow up.
+        schedule = _empty_schedule()
+        schedule.add(_entry("l0", "m#0", 0, "a0", 0, 100))
+        assert schedule.load_imbalance() == float("inf")
+        summary = schedule.summary()
+        assert summary["load_imbalance"] == LOAD_IMBALANCE_UNUSED_SENTINEL
+        parsed = json.loads(json.dumps(summary, allow_nan=False))
+        assert parsed["load_imbalance"] == LOAD_IMBALANCE_UNUSED_SENTINEL
+
+    def test_timeline_cache_invalidated_by_add(self):
+        schedule = self._populated()
+        assert schedule.busy_cycles("a1") == 200
+        assert [e.layer.name for e in schedule.entries_for("a1")] == ["l1", "l0"]
+        schedule.add(_entry("l1", "n#0", 1, "a1", 300, 360))
+        assert schedule.busy_cycles("a1") == 260
+        assert len(schedule.entries_for("a1")) == 3
+        # The untouched sub-accelerator's figures stay correct too.
+        assert schedule.busy_cycles("a0") == 100
+
+    def test_timeline_cache_survives_direct_entries_mutation(self):
+        schedule = self._populated()
+        assert schedule.busy_cycles("a0") == 100
+        # Appending to .entries directly (bypassing add) must not serve stale
+        # accounting.
+        schedule.entries.append(_entry("x", "m#0", 2, "a0", 300, 450))
+        assert schedule.busy_cycles("a0") == 250
+
+    def test_add_after_direct_mutation_does_not_mask_invalidation(self):
+        schedule = self._populated()
+        assert schedule.busy_cycles("a0") == 100
+        # Direct append on a0, then add() on a1: the a0 figures must still be
+        # refreshed even though add() only invalidates a1 itself.
+        schedule.entries.append(_entry("x", "m#0", 2, "a0", 300, 450))
+        schedule.add(_entry("y", "n#0", 1, "a1", 300, 360))
+        assert schedule.busy_cycles("a0") == 250
+        assert schedule.busy_cycles("a1") == 260
+
+    def test_entries_for_returns_independent_list(self):
+        schedule = self._populated()
+        timeline = schedule.entries_for("a1")
+        timeline.clear()
+        assert len(schedule.entries_for("a1")) == 2
 
 
 class TestValidation:
