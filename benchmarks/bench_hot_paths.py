@@ -1,0 +1,666 @@
+"""Hot-path performance-regression harness (standalone, stdlib-only).
+
+Measures the three hot paths the overhaul targets and writes a
+machine-readable ``BENCH_hotpaths.json`` at the repository root so the
+performance trajectory is comparable across PRs:
+
+* **Cost-model throughput** — cold and warm query rates on the AR/VR-A suite,
+  new shape-keyed memo vs an in-benchmark emulation of the historical
+  full-``Layer`` key, plus the cold-pass hit rate (the fraction of queries a
+  single sweep over the workload serves from the memo).  The hit rate is a
+  pure function of the key scheme, so it doubles as the CI regression gate:
+  if someone re-introduces identity fields into the key it drops immediately.
+* **List-schedule scaling** — heap-based event-driven ``_list_schedule`` vs
+  the retained quadratic reference implementation at n = 50 / 200 / 800 layer
+  executions; the heap growth ratio should track O(n log n), the reference
+  O(n^2).
+* **Warm repeated scheduling** and one **end-to-end ``explore()``** (the
+  Fig. 11 sweep) — full legacy emulation (key scheme + per-layer ranking +
+  quadratic list schedule) vs the current implementation, with the DSE
+  rankings asserted identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py [--quick] [--check]
+                                                        [--output PATH]
+
+``--quick`` shrinks the sizes for CI; ``--check`` compares the cold-pass hit
+rate against the checked-in baseline and exits non-zero on regression.  All
+benchmarks are macro-level single-process measurements; speedups below are
+against the *emulated* seed behaviour, which the equivalence test suite pins
+bit-for-bit to the real one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import gc
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import contextlib
+
+from repro.accel.classes import ACCELERATOR_CLASSES
+from repro.core.dse import HeraldDSE
+from repro.core.partitioner import PartitionSearch
+from repro.core.schedule import Schedule, SchedulingError
+from repro.core.scheduler import HeraldScheduler, _InstanceState
+from repro.dataflow import mapping as mapping_module
+from repro.dataflow.mapping import build_mapping, clear_mapping_cache
+from repro.dataflow.styles import NVDLA, SHIDIANNAO
+from repro.exec.backends import SerialBackend
+from repro.maestro import cost as cost_module
+from repro.maestro.cost import CostModel, metric_value
+from repro.maestro.hardware import SubAcceleratorConfig
+from repro.maestro.reuse import analyse_reuse, clear_reuse_cache
+from repro.models.graph import ModelGraph
+from repro.models.layer import conv2d, pwconv
+from repro.units import BYTES_PER_ELEMENT, gbps, mib
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suites import arvr_a, arvr_b, mlperf
+
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_hotpaths.json")
+
+#: Tolerated absolute drop in the cold-pass hit rate before --check fails.
+HIT_RATE_TOLERANCE = 0.005
+
+
+# ---------------------------------------------------------------------------
+# Legacy emulation (the seed's behaviour, reproduced for comparison)
+# ---------------------------------------------------------------------------
+
+class LegacyLayerCost(cost_module.LayerCost):
+    """Seed cost records: latency and energy roll-ups recomputed per access."""
+
+    @property
+    def latency_cycles(self):
+        return (max(self.compute_cycles, self.noc_cycles, self.dram_cycles)
+                + self.overhead_cycles)
+
+    @property
+    def energy_pj(self):
+        return (self.energy_compute_pj + self.energy_rf_pj
+                + self.energy_local_pj + self.energy_noc_pj
+                + self.energy_sram_pj + self.energy_dram_pj
+                + self.energy_overhead_pj)
+
+
+class LegacyCostModel(CostModel):
+    """Emulates the seed memo key: the full ``Layer`` (identity included).
+
+    Identically-shaped layers with different names / model names get separate
+    entries, exactly like the pre-overhaul ``CostModel._key`` that embedded
+    the layer itself; estimates carry the seed's per-access roll-up
+    recomputation.
+    """
+
+    def _key(self, layer, sub_accelerator):
+        return (layer,) + self.hardware_key(sub_accelerator)
+
+    def _estimate_on(self, layer, style, sub_accelerator, reconfigurable):
+        cost = super()._estimate_on(layer, style, sub_accelerator,
+                                    reconfigurable)
+        return LegacyLayerCost(**{field.name: getattr(cost, field.name)
+                                  for field in dataclasses.fields(cost)})
+
+
+@dataclasses.dataclass
+class _LegacyAssignment:
+    """The seed's dict-backed assignment record (the overhaul made it
+    ``__slots__``); the reference list schedule reads it duck-typed."""
+
+    order_index: int
+    instance_id: str
+    layer_index: int
+    layer: object
+    sub_accelerator: str
+    cost: object
+    predecessors: Tuple[int, ...] = ()
+    unmet_producers: int = 0
+    data_ready_cycle: float = 0.0
+
+
+@contextlib.contextmanager
+def legacy_estimator():
+    """Run with the seed's uncached estimator internals.
+
+    The overhaul memoised the mapper's divisor/candidate enumeration and the
+    per-(layer, style, PEs, buffer) reuse analysis; inside this context the
+    un-memoised originals are restored (and the caches cleared), so a legacy
+    measurement pays the seed's full estimation cost.
+    """
+    clear_mapping_cache()
+    clear_reuse_cache()
+    patched_factors = mapping_module._candidate_factors
+    patched_divisors = mapping_module._divisors
+    patched_reuse = cost_module.analyse_layer_reuse
+    mapping_module._candidate_factors = patched_factors.__wrapped__
+    mapping_module._divisors = patched_divisors.__wrapped__
+    cost_module.analyse_layer_reuse = (
+        lambda layer, style, num_pes, buffer_bytes:
+        analyse_reuse(build_mapping(layer, style, num_pes), buffer_bytes))
+    try:
+        yield
+    finally:
+        mapping_module._candidate_factors = patched_factors
+        mapping_module._divisors = patched_divisors
+        cost_module.analyse_layer_reuse = patched_reuse
+        clear_mapping_cache()
+        clear_reuse_cache()
+
+
+class _LegacyInstanceState(_InstanceState):
+    """Seed liveness bookkeeping: scan the live set on every commit."""
+
+    def advance(self):
+        committed = self.next_index
+        self.next_index += 1
+        for index in [index for index in self.live_outputs
+                      if committed in self.successors[index]
+                      and not any(consumer >= self.next_index
+                                  for consumer in self.successors[index])]:
+            del self.live_outputs[index]
+        if any(consumer >= self.next_index
+               for consumer in self.successors[committed]):
+            self.live_outputs[committed] = (
+                self.layers[committed].output_elements * BYTES_PER_ELEMENT)
+
+
+class _LegacySchedule(Schedule):
+    """Seed validation: per-instance entry scans and sorted producer walks."""
+
+    def _validate_dependences(self):
+        instance_ids = {entry.instance_id for entry in self.entries}
+        for instance_id in instance_ids:
+            chain = self.entries_for_instance(instance_id)
+            indices = [entry.layer_index for entry in chain]
+            if len(set(indices)) != len(indices):
+                raise SchedulingError(
+                    f"instance {instance_id!r}: duplicate layer index")
+            predecessors = self.instance_predecessors.get(instance_id)
+            if predecessors is not None:
+                by_index = {entry.layer_index: entry for entry in chain}
+                for entry in chain:
+                    for producer_index in sorted(
+                            predecessors[entry.layer_index]):
+                        producer = by_index[producer_index]
+                        if entry.start_cycle < producer.finish_cycle - 1e-6:
+                            raise SchedulingError("dependence violation")
+            else:
+                self._validate_chain_dependences(instance_id, chain)
+
+
+class LegacyScheduler(HeraldScheduler):
+    """Emulates the seed scheduler hot path.
+
+    Per committed layer it re-queries the cost model for every sub-accelerator
+    and re-sorts the preference list (no per-shape precomputation); the
+    post-processing pass is the retained quadratic full-rescan reference; the
+    visit loop re-scans exhausted instances; liveness is tracked with the
+    seed's live-set scan; workload expansions are rebuilt per call; validation
+    runs the seed's per-instance scans.  The produced schedules are
+    bit-for-bit those of the current scheduler — the equivalence suite proves
+    it — only the work per decision differs.
+    """
+
+    def schedule(self, workload, sub_accelerators):
+        # The seed had no workload-level memos: re-expand per call.
+        workload._instances_memo = None
+        workload._shapes_memo = None
+        return super().schedule(workload, sub_accelerators)
+
+    def _initial_assignment(self, workload, sub_accelerators):
+        states = [
+            _LegacyInstanceState(instance=instance,
+                                 layers=instance.layers_in_dependence_order(),
+                                 predecessors=instance.predecessor_indices(),
+                                 successors=instance.successor_indices())
+            for instance in workload.instances()
+        ]
+        busy_cycles = {acc.name: 0.0 for acc in sub_accelerators}
+        assignments = []
+        self.last_memory_violations = 0
+        visit_queue = list(range(len(states)))
+
+        def commit(state, position):
+            layer = state.head
+            acc_name, cost = self._choose_per_layer(layer, sub_accelerators,
+                                                    busy_cycles)
+            assignments.append(_LegacyAssignment(
+                order_index=len(assignments),
+                instance_id=state.instance.instance_id,
+                layer_index=state.next_index,
+                layer=layer,
+                sub_accelerator=acc_name,
+                cost=cost,
+                predecessors=tuple(sorted(state.predecessors[state.next_index])),
+            ))
+            busy_cycles[acc_name] += cost.latency_cycles
+            state.advance()
+            self._rotate_legacy(visit_queue, position, state.exhausted)
+
+        while any(not state.exhausted for state in states):
+            progressed = False
+            deferred_position = None
+            for position, state_index in enumerate(visit_queue):
+                state = states[state_index]
+                if state.exhausted:
+                    continue
+                if not self._memory_allows(states, state, state.head):
+                    if deferred_position is None:
+                        deferred_position = position
+                    continue
+                commit(state, position)
+                progressed = True
+                break
+            if not progressed:
+                if deferred_position is None:
+                    raise SchedulingError("scheduler made no progress")
+                self.last_memory_violations += 1
+                commit(states[visit_queue[deferred_position]], deferred_position)
+        return assignments
+
+    def _rotate_legacy(self, visit_queue, position, exhausted):
+        if self.ordering == "breadth":
+            visit_queue.append(visit_queue.pop(position))
+        elif exhausted:
+            visit_queue.append(visit_queue.pop(position))
+
+    def _choose_per_layer(self, layer, sub_accelerators, busy_cycles):
+        ranked = []
+        for acc in sub_accelerators:
+            cost = self.cost_model.layer_cost(layer, acc)
+            ranked.append((metric_value(cost, self.metric), acc.name, cost))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        if self.load_balance_factor is None or len(sub_accelerators) == 1:
+            _, name, cost = ranked[0]
+            return name, cost
+        finish_by_name = {
+            name: busy_cycles[name] + cost.latency_cycles
+            for _, name, cost in ranked
+        }
+        best_finish = min(finish_by_name.values())
+        for _, name, cost in ranked:
+            if finish_by_name[name] <= self.load_balance_factor * best_finish:
+                return name, cost
+        _, name, cost = ranked[0]
+        return name, cost
+
+    def _list_schedule(self, assignments, sub_accelerators):
+        return self._list_schedule_reference(assignments, sub_accelerators)
+
+    def _empty_schedule(self, sub_accelerators):
+        return _LegacySchedule(
+            sub_accelerator_names=tuple(acc.name for acc in sub_accelerators),
+            clock_hz=sub_accelerators[0].clock_hz,
+            idle_energy_pj_per_cycle_per_pe=(
+                self.cost_model.energy_table.leakage_per_cycle_per_pe),
+            pes_per_sub_accelerator={acc.name: acc.num_pes
+                                     for acc in sub_accelerators},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _two_way_split(chip) -> Tuple[SubAcceleratorConfig, ...]:
+    half_bw = chip.noc_bandwidth_bytes_per_s / 2
+    return (
+        SubAcceleratorConfig(name="acc0-nvdla", dataflow=NVDLA,
+                             num_pes=chip.num_pes // 2,
+                             bandwidth_bytes_per_s=half_bw,
+                             buffer_bytes=chip.global_buffer_bytes,
+                             clock_hz=chip.clock_hz),
+        SubAcceleratorConfig(name="acc1-shidiannao", dataflow=SHIDIANNAO,
+                             num_pes=chip.num_pes // 2,
+                             bandwidth_bytes_per_s=half_bw,
+                             buffer_bytes=chip.global_buffer_bytes,
+                             clock_hz=chip.clock_hz),
+    )
+
+
+def _timed(func):
+    gc.collect()
+    start = time.perf_counter()
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def _isolated(func):
+    """Run ``func`` in a forked child and return its (picklable) result.
+
+    Long A/B measurements in one process bias the second arm through
+    allocator and GC state left behind by the first; a fork per arm gives
+    both the same starting state.  Falls back to in-process execution where
+    fork is unavailable.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return func()
+    context = multiprocessing.get_context("fork")
+    queue = context.SimpleQueue()
+
+    def target():
+        queue.put(func())
+
+    process = context.Process(target=target)
+    process.start()
+    result = queue.get()
+    process.join()
+    return result
+
+
+def _query_pass(model: CostModel, layers, accs) -> None:
+    for layer in layers:
+        for acc in accs:
+            model.layer_cost(layer, acc)
+
+
+# ---------------------------------------------------------------------------
+# Section 1: cost-model throughput
+# ---------------------------------------------------------------------------
+
+def bench_cost_model(quick: bool) -> Dict[str, object]:
+    workload = arvr_a()
+    chip = ACCELERATOR_CLASSES["edge"]
+    accs = _two_way_split(chip)
+    layers = workload.all_layers()
+    queries = len(layers) * len(accs)
+
+    legacy = LegacyCostModel()
+    with legacy_estimator():
+        legacy_cold_s, _ = _timed(lambda: _query_pass(legacy, layers, accs))
+
+    clear_mapping_cache()
+    clear_reuse_cache()
+    model = CostModel()
+    shape_cold_s, _ = _timed(lambda: _query_pass(model, layers, accs))
+    cold_pass_hit_rate = model.hits / (model.hits + model.misses)
+
+    warm_repeats = 3 if quick else 10
+    warm_s, _ = _timed(lambda: [_query_pass(model, layers, accs)
+                                for _ in range(warm_repeats)])
+
+    return {
+        "workload": workload.name,
+        "sub_accelerators": len(accs),
+        "total_layer_executions": workload.total_layers,
+        "unique_named_layers": workload.unique_layers,
+        "unique_shapes": workload.unique_shapes,
+        "queries_per_pass": queries,
+        "legacy_cold_s": legacy_cold_s,
+        "legacy_cold_entries": legacy.cache_size(),
+        "shape_cold_s": shape_cold_s,
+        "shape_cold_entries": model.cache_size(),
+        "cold_speedup": legacy_cold_s / shape_cold_s,
+        "cold_pass_hit_rate": cold_pass_hit_rate,
+        "warm_queries_per_s": warm_repeats * queries / warm_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 2: list-schedule scaling
+# ---------------------------------------------------------------------------
+
+def _synthetic_chain(total_layers: int) -> WorkloadSpec:
+    """Two parallel instances of a chain; shapes cycle so the memo stays small."""
+    per_instance = total_layers // 2
+    shapes = [
+        lambda i: conv2d(f"conv{i}", k=32, c=16, y=34, x=34, r=3, s=3),
+        lambda i: pwconv(f"pw{i}", k=64, c=32, y=16, x=16),
+        lambda i: conv2d(f"deep{i}", k=128, c=64, y=10, x=10, r=3, s=3),
+        lambda i: pwconv(f"wide{i}", k=256, c=128, y=8, x=8),
+    ]
+    layers = [shapes[i % len(shapes)](i) for i in range(per_instance)]
+    graph = ModelGraph.from_layers(f"chain{per_instance}", layers)
+    return WorkloadSpec.from_models(f"chain-{total_layers}", [graph], batches=2)
+
+
+def bench_list_schedule(quick: bool) -> Dict[str, object]:
+    sizes = [50, 200] if quick else [50, 200, 800]
+    chip = ACCELERATOR_CLASSES["edge"]
+    accs = _two_way_split(chip)
+    model = CostModel()
+    scheduler = HeraldScheduler(model)
+
+    heap_times: List[float] = []
+    reference_times: List[float] = []
+    for size in sizes:
+        workload = _synthetic_chain(size)
+        assignments = scheduler._initial_assignment(workload, accs)
+        repeats = max(3, (2000 if quick else 20000) // size)
+        # One untimed pass per implementation to settle allocator state.
+        scheduler._list_schedule(assignments, accs)
+        scheduler._list_schedule_reference(assignments, accs)
+        heap_s, _ = _timed(lambda: [scheduler._list_schedule(assignments, accs)
+                                    for _ in range(repeats)])
+        ref_s, _ = _timed(lambda: [
+            scheduler._list_schedule_reference(assignments, accs)
+            for _ in range(repeats)])
+        heap_times.append(heap_s / repeats)
+        reference_times.append(ref_s / repeats)
+
+    return {
+        "sizes": sizes,
+        "heap_s": heap_times,
+        "reference_s": reference_times,
+        "speedup": [r / h for r, h in zip(reference_times, heap_times)],
+        # Growth from the second-largest to the largest size.  n log n predicts
+        # ~4.4x for 200 -> 800; n^2 predicts 16x.
+        "heap_growth_ratio": heap_times[-1] / heap_times[-2],
+        "reference_growth_ratio": reference_times[-1] / reference_times[-2],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 3: warm repeated scheduling
+# ---------------------------------------------------------------------------
+
+def bench_warm_scheduling(quick: bool) -> Dict[str, object]:
+    # The Table VI batch-8 variant of the AR/VR-A suite: the list scheduler is
+    # the binding resource at this instance count, which is exactly the
+    # regime repeated scheduling (partition refinement, workload studies)
+    # operates in.
+    workload = arvr_a().with_batches(2 if quick else 8)
+    chip = ACCELERATOR_CLASSES["edge"]
+    accs = _two_way_split(chip)
+    repeats = 5 if quick else 20
+
+    def run(model_cls, scheduler_cls):
+        model = model_cls()
+        scheduler = scheduler_cls(model)
+        scheduler.schedule(workload, accs)  # warm the memo
+        elapsed, _ = _timed(lambda: [scheduler.schedule(workload, accs)
+                                     for _ in range(repeats)])
+        return elapsed / repeats
+
+    legacy_s = run(LegacyCostModel, LegacyScheduler)
+    new_s = run(CostModel, HeraldScheduler)
+    return {
+        "workload": workload.name,
+        "layer_executions": workload.total_layers,
+        "repeats": repeats,
+        "legacy_s": legacy_s,
+        "new_s": new_s,
+        "speedup": legacy_s / new_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 4: end-to-end explore() (the Fig. 11 sweep)
+# ---------------------------------------------------------------------------
+
+def bench_explore(quick: bool) -> Dict[str, object]:
+    """The Fig. 11 sweep: every workload suite on every accelerator class.
+
+    Quick mode shrinks the sweep to AR/VR-A on the edge class with a coarser
+    partition grid so CI stays fast; the full sweep matches
+    ``bench_fig11_design_space.py`` (pe_steps=8, bw_steps=4, three-way HDAs,
+    one shared cost model across the nine sub-plots).
+    """
+    if quick:
+        workloads = [arvr_a()]
+        classes = ["edge"]
+        pe_steps, bw_steps, include_three_way = 4, 2, False
+    else:
+        workloads = [arvr_a(), arvr_b(), mlperf()]
+        classes = ["edge", "mobile", "cloud"]
+        pe_steps, bw_steps, include_three_way = 8, 4, True
+
+    def summarize(space):
+        # Compact the space immediately so neither arm keeps hundreds of
+        # thousands of schedule objects alive while the other is timed (the
+        # ballast would skew the second measurement through GC pressure).
+        return {
+            "bests": {category: (space.best(category).design.name,
+                                 space.best(category).edp)
+                      for category in space.categories()},
+            "points": [(p.category, p.design.name, p.latency_s, p.energy_mj,
+                        p.edp) for p in space.points],
+        }
+
+    def run(model_cls, scheduler_cls):
+        clear_mapping_cache()
+        clear_reuse_cache()
+        model = model_cls()
+        scheduler = scheduler_cls(model)
+        search = PartitionSearch(cost_model=model, scheduler=scheduler,
+                                 pe_steps=pe_steps, bw_steps=bw_steps)
+        backend = SerialBackend(cost_model=model, scheduler=scheduler)
+        dse = HeraldDSE(cost_model=model, scheduler=scheduler,
+                        partition_search=search, backend=backend)
+
+        # Only the explore() calls are timed; the summary compaction between
+        # them is bookkeeping of this harness, not of the system under test.
+        elapsed = 0.0
+        summaries = []
+        gc.collect()
+        for workload in workloads:
+            for class_name in classes:
+                start = time.perf_counter()
+                space = dse.explore(workload, ACCELERATOR_CLASSES[class_name],
+                                    include_three_way=include_three_way)
+                elapsed += time.perf_counter() - start
+                summaries.append(summarize(space))
+                del space
+        return elapsed, summaries
+
+    def legacy_arm():
+        with legacy_estimator():
+            return run(LegacyCostModel, LegacyScheduler)
+
+    legacy_s, legacy_summaries = _isolated(legacy_arm)
+    new_s, new_summaries = _isolated(
+        lambda: run(CostModel, HeraldScheduler))
+
+    rankings_identical = all(
+        legacy["bests"] == new["bests"]
+        for legacy, new in zip(legacy_summaries, new_summaries))
+    point_metrics_identical = all(
+        legacy["points"] == new["points"]
+        for legacy, new in zip(legacy_summaries, new_summaries))
+
+    return {
+        "workloads": [workload.name for workload in workloads],
+        "classes": classes,
+        "pe_steps": pe_steps,
+        "bw_steps": bw_steps,
+        "include_three_way": include_three_way,
+        "design_points": sum(len(summary["points"])
+                             for summary in new_summaries),
+        "legacy_s": legacy_s,
+        "new_s": new_s,
+        "speedup": legacy_s / new_s,
+        "rankings_identical": rankings_identical,
+        "point_metrics_identical": point_metrics_identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def run_all(quick: bool) -> Dict[str, object]:
+    results: Dict[str, object] = {
+        "version": 1,
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+    }
+    print(f"[bench_hot_paths] mode={results['mode']}")
+    for name, section in (("cost_model", bench_cost_model),
+                          ("list_schedule", bench_list_schedule),
+                          ("warm_scheduling", bench_warm_scheduling),
+                          ("explore", bench_explore)):
+        print(f"[bench_hot_paths] running {name} ...", flush=True)
+        results[name] = section(quick)
+        print(f"[bench_hot_paths]   {json.dumps(results[name])}")
+    return results
+
+
+def check_against_baseline(results: Dict[str, object],
+                           baseline_path: str) -> List[str]:
+    """Regression gate: compare against the checked-in baseline JSON."""
+    failures: List[str] = []
+    try:
+        with open(baseline_path, "r") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot read baseline {baseline_path}: {error}"]
+
+    recorded = baseline["cost_model"]["cold_pass_hit_rate"]
+    measured = results["cost_model"]["cold_pass_hit_rate"]
+    if measured < recorded - HIT_RATE_TOLERANCE:
+        failures.append(
+            f"cold-pass hit rate regressed: {measured:.4f} < recorded "
+            f"baseline {recorded:.4f} (the memo key likely re-acquired "
+            "identity fields)")
+    if not results["explore"]["rankings_identical"]:
+        failures.append("legacy and current explore() rankings diverged")
+    if not results["explore"]["point_metrics_identical"]:
+        failures.append("legacy and current explore() point metrics diverged")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regression against the checked-in "
+                             "baseline (read before --output is written)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON results")
+    parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
+                        help="baseline JSON for --check")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick)
+
+    failures: List[str] = []
+    if args.check:
+        failures = check_against_baseline(results, args.baseline)
+
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=1, allow_nan=False)
+        handle.write("\n")
+    print(f"[bench_hot_paths] wrote {args.output}")
+
+    for failure in failures:
+        print(f"[bench_hot_paths] REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

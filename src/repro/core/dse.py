@@ -218,9 +218,17 @@ class HeraldDSE:
         to the configured execution backend; with the binary partition-search
         strategy a second, refinement round is submitted around the best coarse
         partition of each HDA combination.
+
+        The whole sweep shares one deduped per-shape cost table: every task
+        references this one ``workload`` object, whose
+        :meth:`~repro.workloads.spec.WorkloadSpec.unique_shape_layers` memo is
+        primed here, so each candidate's scheduler resolves costs per unique
+        *shape* (one memo entry per shape x sub-accelerator configuration)
+        instead of re-querying the memo layer-by-layer per candidate.
         """
         start = time.perf_counter()
         result = DSEResult(workload_name=workload.name, chip_name=chip.name)
+        workload.unique_shape_layers()
 
         combos = self._hda_combos(hda_combinations, include_three_way)
         tasks = list(self.enumerate_tasks(

@@ -19,14 +19,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SearchError
 from repro.accel.builders import make_hda, make_smfda
 from repro.accel.design import AcceleratorDesign
 from repro.dataflow.styles import DataflowStyle
 from repro.maestro.cost import CostModel
-from repro.maestro.hardware import ChipConfig
+from repro.maestro.hardware import ChipConfig, SubAcceleratorConfig
 from repro.core.evaluator import EvaluationResult, evaluate_design
 from repro.core.scheduler import HeraldScheduler
 from repro.workloads.spec import WorkloadSpec
@@ -164,14 +164,39 @@ class PartitionSearch:
         """
         if len(styles) < 2:
             raise SearchError("partitioning requires at least two sub-accelerators")
-        points = [self._evaluate(chip, styles, workload, pes, bws)
-                  for pes, bws in self.candidate_partitions(chip, len(styles))]
+        points = self._evaluate_round(chip, styles, workload,
+                                      self.candidate_partitions(chip, len(styles)))
         if self.strategy == "binary":
-            points.extend(
-                self._evaluate(chip, styles, workload, pes, bws)
-                for pes, bws in self.refinement_candidates(chip, points)
-            )
+            points.extend(self._evaluate_round(
+                chip, styles, workload,
+                self.refinement_candidates(chip, points)))
         return points
+
+    def _evaluate_round(self, chip: ChipConfig, styles: Sequence[DataflowStyle],
+                        workload: WorkloadSpec,
+                        candidates: Sequence[Tuple[Tuple[int, ...],
+                                                   Tuple[float, ...]]]
+                        ) -> List[PartitionPoint]:
+        """Build, prewarm, and evaluate one round of candidate partitions.
+
+        Each candidate's design is constructed exactly once and shared by the
+        prewarm pass and the evaluation; both the coarse round and the binary
+        refinement round go through here, so every evaluation is pure memo
+        lookups.
+        """
+        designs = [self._build_design(chip, styles, pes, bws)
+                   for pes, bws in candidates]
+        self._prewarm_designs(designs, workload)
+        return [
+            PartitionPoint(
+                pe_partition=tuple(pes),
+                bw_partition_gbps=tuple(bws),
+                result=evaluate_design(design, workload,
+                                       cost_model=self.cost_model,
+                                       scheduler=self.scheduler),
+            )
+            for (pes, bws), design in zip(candidates, designs)
+        ]
 
     def best_point(self, points: Iterable[PartitionPoint]) -> PartitionPoint:
         """The explored point with the best (lowest) objective value."""
@@ -237,6 +262,52 @@ class PartitionSearch:
         """The design a candidate partition denotes (HDA, or SM-FDA when
         all styles coincide)."""
         return self._build_design(chip, styles, pe_partition, bw_partition_gbps)
+
+    def prewarm(self, chip: ChipConfig, styles: Sequence[DataflowStyle],
+                workload: WorkloadSpec,
+                candidates: Sequence[Tuple[Tuple[int, ...], Tuple[float, ...]]]
+                ) -> int:
+        """Populate the shared per-shape cost table for a candidate set.
+
+        Convenience wrapper over :meth:`_prewarm_designs` for callers holding
+        raw ``(pe_partition, bw_partition)`` candidates.  Returns the number
+        of distinct sub-accelerator configurations warmed.
+        """
+        return self._prewarm_designs(
+            [self._build_design(chip, styles, pes, bws)
+             for pes, bws in candidates],
+            workload)
+
+    def _prewarm_designs(self, designs: Sequence[AcceleratorDesign],
+                         workload: WorkloadSpec) -> int:
+        """Batch-estimate the deduped shape x distinct-configuration product.
+
+        All partition candidates of one dataflow combination draw from the
+        same two pools: the workload's deduped shape set and the distinct
+        sub-accelerator configurations the partitions produce (candidates
+        re-create the same (PEs, bandwidth) arrays under different splits).
+        Estimating the cross product once up front means every candidate's
+        scheduling pass is pure memo lookups instead of interleaved cold
+        estimation, which is what makes per-candidate evaluation time flat
+        across a round; :meth:`search` routes both the coarse and the binary
+        refinement round through this.
+
+        Returns the number of distinct sub-accelerator configurations warmed.
+        Results are unchanged by construction: the memo serves the exact
+        values the lazy path would have computed.
+        """
+        distinct: Dict[Tuple, SubAcceleratorConfig] = {}
+        for design in designs:
+            for acc in design.sub_accelerators:
+                distinct.setdefault(self.cost_model.hardware_key(acc), acc)
+        # Warmed per configuration, not through batch_layer_costs: candidates
+        # reuse sub-accelerator *names* ("hda-0", ...) across different
+        # configurations, and the batch table is name-keyed within one design.
+        representatives = workload.unique_shape_layers()
+        for acc in distinct.values():
+            for layer in representatives:
+                self.cost_model.layer_cost(layer, acc)
+        return len(distinct)
 
     # ------------------------------------------------------------------
     # Internals

@@ -34,9 +34,13 @@ from repro.units import cycles_to_seconds, picojoules_to_millijoules
 LOAD_IMBALANCE_UNUSED_SENTINEL = -1.0
 
 
-@dataclass(frozen=True)
 class ScheduledLayer:
     """One layer execution placed on one sub-accelerator.
+
+    A ``__slots__`` value class rather than a dataclass: a DSE sweep builds
+    one instance per layer execution per candidate design, making
+    construction cost part of the scheduling hot path.  Instances compare by
+    value and are immutable by convention.
 
     Attributes
     ----------
@@ -54,13 +58,47 @@ class ScheduledLayer:
         The cost-model estimate used for this execution.
     """
 
-    layer: Layer
-    instance_id: str
-    layer_index: int
-    sub_accelerator: str
-    start_cycle: float
-    finish_cycle: float
-    cost: LayerCost
+    __slots__ = ("layer", "instance_id", "layer_index", "sub_accelerator",
+                 "start_cycle", "finish_cycle", "cost")
+
+    def __init__(self, layer: Layer, instance_id: str, layer_index: int,
+                 sub_accelerator: str, start_cycle: float, finish_cycle: float,
+                 cost: LayerCost) -> None:
+        self.layer = layer
+        self.instance_id = instance_id
+        self.layer_index = layer_index
+        self.sub_accelerator = sub_accelerator
+        self.start_cycle = start_cycle
+        self.finish_cycle = finish_cycle
+        self.cost = cost
+
+    def _astuple(self) -> Tuple:
+        return (self.layer, self.instance_id, self.layer_index,
+                self.sub_accelerator, self.start_cycle, self.finish_cycle,
+                self.cost)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduledLayer):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (f"ScheduledLayer(layer={self.layer!r}, "
+                f"instance_id={self.instance_id!r}, "
+                f"layer_index={self.layer_index!r}, "
+                f"sub_accelerator={self.sub_accelerator!r}, "
+                f"start_cycle={self.start_cycle!r}, "
+                f"finish_cycle={self.finish_cycle!r}, cost={self.cost!r})")
+
+    def __getstate__(self) -> Tuple:
+        return self._astuple()
+
+    def __setstate__(self, state: Tuple) -> None:
+        (self.layer, self.instance_id, self.layer_index, self.sub_accelerator,
+         self.start_cycle, self.finish_cycle, self.cost) = state
 
     @property
     def duration_cycles(self) -> float:
@@ -308,9 +346,13 @@ class Schedule:
                     )
 
     def _validate_dependences(self) -> None:
-        instance_ids = {entry.instance_id for entry in self.entries}
-        for instance_id in instance_ids:
-            chain = self.entries_for_instance(instance_id)
+        # One grouping pass over the entries instead of a per-instance scan:
+        # validation is O(entries + instances), not O(entries * instances).
+        by_instance: Dict[str, List[ScheduledLayer]] = {}
+        for entry in self.entries:
+            by_instance.setdefault(entry.instance_id, []).append(entry)
+        for instance_id, chain in by_instance.items():
+            chain.sort(key=lambda entry: entry.layer_index)
             indices = [entry.layer_index for entry in chain]
             if len(set(indices)) != len(indices):
                 raise SchedulingError(
@@ -333,7 +375,7 @@ class Schedule:
                     f"instance {instance_id!r}: layer index {entry.layer_index} is "
                     f"outside the instance's {len(predecessors)} layers"
                 )
-            for producer_index in sorted(predecessors[entry.layer_index]):
+            for producer_index in predecessors[entry.layer_index]:
                 producer = by_index.get(producer_index)
                 if producer is None:
                     raise SchedulingError(

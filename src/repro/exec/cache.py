@@ -10,6 +10,15 @@ The file format is a plain JSON document (one ``entries`` list of serialized
 ``(cache key, LayerCost)`` pairs).  A corrupted or unreadable file is treated
 as an empty cache — the sweep simply starts cold — so a half-written file can
 never break an exploration.
+
+Since format version 3 the cache key is shape-based: the layer component of
+the key is :attr:`~repro.models.layer.Layer.shape_key` (no ``name`` /
+``model_name``), derived on load from the representative layer embedded in the
+stored :class:`~repro.maestro.cost.LayerCost`.  Files written by older
+versions used full-``Layer`` keys; they are detected by their version header
+and transparently discarded (a one-time cold start, reported through
+:attr:`PersistentCostCache.discarded_version`) instead of failing or silently
+mixing the two key schemes.
 """
 
 from __future__ import annotations
@@ -24,8 +33,13 @@ from repro.exceptions import ReproError
 from repro.maestro.cost import CostModel, LayerCost
 from repro.models.layer import Layer, LayerType
 
-#: Format version written to (and required from) cache files.
-CACHE_FORMAT_VERSION = 2
+#: Format version written to (and required from) cache files.  Version 3
+#: switched the key scheme from full ``Layer`` identity to ``Layer.shape_key``;
+#: older versions are recognised and discarded on load (never mixed).
+CACHE_FORMAT_VERSION = 3
+
+#: Versions this build recognises as legacy formats to migrate away from.
+_LEGACY_CACHE_VERSIONS = (1, 2)
 
 
 def model_fingerprint(cost_model: CostModel) -> str:
@@ -43,7 +57,8 @@ def model_fingerprint(cost_model: CostModel) -> str:
         "rda_styles": sorted(style.name for style in cost_model.rda_styles),
     }, sort_keys=True)
 
-#: Layer fields that participate in cache identity, in serialisation order.
+#: Layer fields serialized for the representative layer embedded in each
+#: stored cost (the shape dimensions double as the entry's cache identity).
 _LAYER_FIELDS = ("name", "k", "c", "y", "x", "r", "s", "stride", "upscale", "model_name")
 
 
@@ -88,14 +103,17 @@ def _cost_from_json(payload: Dict[str, object]) -> LayerCost:
 
 
 def _entry_to_json(key: Tuple, cost: LayerCost) -> Dict[str, object]:
-    # Key layout mirrors ``CostModel._key``: (layer, dataflow name or None,
-    # num_pes, rounded NoC bandwidth in bytes/s, buffer bytes, clock Hz).
-    layer, dataflow_name, num_pes, bandwidth, buffer_bytes, clock_hz = key
+    # Key layout mirrors ``CostModel._key``: (shape_key, dataflow name or
+    # None, num_pes, rounded NoC bandwidth in bytes/s, rounded DRAM bandwidth
+    # in bytes/s, buffer bytes, clock Hz).  The shape component is not stored
+    # separately: it is recovered from the representative layer embedded in
+    # the cost, which by construction has exactly the key's shape.
+    _, dataflow_name, num_pes, bandwidth, dram_bandwidth, buffer_bytes, clock_hz = key
     return {
-        "layer": _layer_to_json(layer),
         "dataflow": dataflow_name,
         "num_pes": num_pes,
         "bandwidth_bytes_per_s": bandwidth,
+        "dram_bandwidth_bytes_per_s": dram_bandwidth,
         "buffer_bytes": buffer_bytes,
         "clock_hz": clock_hz,
         "cost": _cost_to_json(cost),
@@ -103,15 +121,17 @@ def _entry_to_json(key: Tuple, cost: LayerCost) -> Dict[str, object]:
 
 
 def _entry_from_json(payload: Dict[str, object]) -> Tuple[Tuple, LayerCost]:
+    cost = _cost_from_json(payload["cost"])
     key = (
-        _layer_from_json(payload["layer"]),
+        cost.layer.shape_key,
         payload["dataflow"],
         payload["num_pes"],
         payload["bandwidth_bytes_per_s"],
+        payload["dram_bandwidth_bytes_per_s"],
         payload["buffer_bytes"],
         payload["clock_hz"],
     )
-    return key, _cost_from_json(payload["cost"])
+    return key, cost
 
 
 class PersistentCostCache:
@@ -131,6 +151,10 @@ class PersistentCostCache:
     def __init__(self, path: str, autoload: bool = True) -> None:
         self.path = path
         self.corrupted = False
+        #: Version of a recognised legacy cache file that was discarded on
+        #: load (``None`` when the file was current or absent).  A discarded
+        #: legacy file is a planned one-time cold start, not corruption.
+        self.discarded_version: Optional[int] = None
         self._entries: Dict[Tuple, LayerCost] = {}
         self._fingerprint: Optional[str] = None
         self._dirty = False
@@ -145,19 +169,30 @@ class PersistentCostCache:
 
         Any failure — missing file, bad JSON, wrong version, malformed
         entries — falls back to an empty cache rather than raising, so a
-        corrupted cache file degrades to a cold start.
+        corrupted cache file degrades to a cold start.  A file written by a
+        recognised *older* format (full-``Layer`` keys, versions 1-2) is not
+        corruption: it is discarded transparently (the key schemes must never
+        mix) and :attr:`discarded_version` records the migration.
         """
         self._entries = {}
         self._fingerprint = None
         self._dirty = False
         self.corrupted = False
+        self.discarded_version = None
         if not os.path.exists(self.path):
             return 0
         try:
             with open(self.path, "r") as handle:
                 payload = json.load(handle)
-            if payload.get("version") != CACHE_FORMAT_VERSION:
-                raise ValueError(f"unsupported cache version {payload.get('version')!r}")
+            version = payload.get("version")
+            if version in _LEGACY_CACHE_VERSIONS:
+                # Old key scheme: start cold and let the next save rewrite the
+                # file in the current format.
+                self.discarded_version = version
+                self._dirty = True
+                return 0
+            if version != CACHE_FORMAT_VERSION:
+                raise ValueError(f"unsupported cache version {version!r}")
             fingerprint = payload["fingerprint"]
             entries = {}
             for raw in payload["entries"]:
@@ -267,5 +302,11 @@ class PersistentCostCache:
 
     def describe(self) -> str:
         """One-line description used by the CLI."""
-        state = "corrupted, starting cold" if self.corrupted else f"{len(self)} entries"
+        if self.corrupted:
+            state = "corrupted, starting cold"
+        elif self.discarded_version is not None:
+            state = (f"discarded legacy v{self.discarded_version} file, "
+                     "starting cold")
+        else:
+            state = f"{len(self)} entries"
         return f"persistent cost cache at {self.path} ({state})"

@@ -8,7 +8,10 @@ a remote machine.  Tasks are plain picklable dataclasses; everything they embed
 (designs, workloads, dataflow styles) pickles cleanly — including the
 per-layer predecessor/successor index sets of DAG-shaped models, so pool
 workers schedule skip connections and parallel branches exactly as the serial
-backend does.
+backend does.  Workload-level derived state (instance expansion, the deduped
+per-shape layer set) is deliberately *not* shipped: it is rebuilt cheaply in
+each worker, keeping task pickles small, while the shape-keyed cost memo
+shipped with the worker's cost model carries the expensive part of the warmth.
 """
 
 from __future__ import annotations

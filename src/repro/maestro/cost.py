@@ -7,9 +7,15 @@ NoC (tile traffic from/to the global buffer), and the chip's DRAM interface
 table — MAC, register file, local-buffer fills, global-NoC tile movement,
 global SRAM, and DRAM — exactly the MAESTRO activity-count methodology.
 
-The :class:`CostModel` facade caches per-(layer, dataflow, hardware) results,
-which is what makes Herald's hardware/schedule co-exploration tractable: a
-design-space sweep re-evaluates the same layers thousands of times.
+The :class:`CostModel` facade caches per-(layer shape, dataflow, hardware)
+results, which is what makes Herald's hardware/schedule co-exploration
+tractable: a design-space sweep re-evaluates the same layers thousands of
+times.  The memo key is :attr:`~repro.models.layer.Layer.shape_key` — every
+loop dimension plus ``stride``/``upscale``/operator type, but no identity
+fields — so the repeated blocks inside one model, the batch copies of one
+instance, and equal shapes across different models all share a single entry;
+:meth:`CostModel.batch_layer_costs` exploits this by deduping a whole layer
+list before estimating anything.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from repro.dataflow.mapping import Mapping, build_mapping
 from repro.dataflow.styles import ALL_STYLES, DataflowStyle
 from repro.maestro.energy import DEFAULT_ENERGY_TABLE, EnergyTable
 from repro.maestro.hardware import SubAcceleratorConfig
-from repro.maestro.reuse import ReuseAnalysis, analyse_reuse
+from repro.maestro.reuse import ReuseAnalysis, analyse_layer_reuse
 from repro.models.layer import Layer
 
 #: Fixed pipeline fill / drain and control overhead charged to every layer, in
@@ -65,13 +71,28 @@ class LayerCost:
     utilisation: float
     clock_hz: float
 
+    def __post_init__(self) -> None:
+        # The scheduler reads latency/energy once per scheduling decision —
+        # orders of magnitude more often than costs are built — so the two
+        # roll-ups are precomputed (the dataclass is frozen, hence the
+        # explicit object.__setattr__, mirroring the generated __init__).
+        object.__setattr__(
+            self, "_latency_cycles",
+            max(self.compute_cycles, self.noc_cycles, self.dram_cycles)
+            + self.overhead_cycles)
+        object.__setattr__(
+            self, "_energy_pj",
+            self.energy_compute_pj + self.energy_rf_pj + self.energy_local_pj
+            + self.energy_noc_pj + self.energy_sram_pj + self.energy_dram_pj
+            + self.energy_overhead_pj)
+
     # ------------------------------------------------------------------
     # Latency
     # ------------------------------------------------------------------
     @property
     def latency_cycles(self) -> float:
         """Roofline latency: the binding resource plus fixed overhead."""
-        return max(self.compute_cycles, self.noc_cycles, self.dram_cycles) + self.overhead_cycles
+        return self._latency_cycles
 
     @property
     def latency_s(self) -> float:
@@ -94,15 +115,7 @@ class LayerCost:
     @property
     def energy_pj(self) -> float:
         """Total energy in picojoules."""
-        return (
-            self.energy_compute_pj
-            + self.energy_rf_pj
-            + self.energy_local_pj
-            + self.energy_noc_pj
-            + self.energy_sram_pj
-            + self.energy_dram_pj
-            + self.energy_overhead_pj
-        )
+        return self._energy_pj
 
     @property
     def energy_mj(self) -> float:
@@ -141,7 +154,7 @@ def _estimate(layer: Layer, style: DataflowStyle, num_pes: int,
               reconfigurable: bool) -> LayerCost:
     """Estimate one layer on one concrete array configuration."""
     mapping: Mapping = build_mapping(layer, style, num_pes)
-    reuse: ReuseAnalysis = analyse_reuse(mapping, buffer_bytes)
+    reuse: ReuseAnalysis = analyse_layer_reuse(layer, style, num_pes, buffer_bytes)
 
     compute_cycles = float(mapping.compute_steps)
     noc_cycles = reuse.noc_tile_bytes / bandwidth_bytes_per_cycle
@@ -211,6 +224,13 @@ class CostModel:
 
         For a reconfigurable sub-accelerator the best dataflow (lowest EDP) is
         chosen per layer and the RDA reconfiguration overheads are charged.
+
+        Results are memoised per ``(shape_key, hardware)`` — identity fields
+        (``name``, ``model_name``) do not participate, so identically-shaped
+        layers across blocks, batches, and models share one entry.  The
+        returned :class:`LayerCost` consequently embeds the *first* layer seen
+        with that shape as its representative; every numeric field is a pure
+        function of the shape.
         """
         key = self._key(layer, sub_accelerator)
         cached = self._cache.get(key)
@@ -247,6 +267,38 @@ class CostModel:
             cost = self._estimate_on(layer, style, sub_accelerator, reconfigurable=False)
             scored.append((style, cost))
         return min(scored, key=lambda pair: metric_value(pair[1], metric))
+
+    def batch_layer_costs(self, layers: Sequence[Layer],
+                          sub_accelerators: Sequence[SubAcceleratorConfig]
+                          ) -> Dict[Tuple[Tuple, str], LayerCost]:
+        """Cost table for ``layers`` x ``sub_accelerators``, deduped by shape.
+
+        The batch entry point of the hot path: duplicate shapes are collapsed
+        *before* any estimation, so a 53-layer MobileNetV2 with repeated
+        inverted-residual blocks pays for its ~20 unique shapes only.  Returns
+        ``{(shape_key, sub_accelerator.name): LayerCost}``; the table covers
+        every input layer because equal shapes map to the same entry.
+        """
+        table: Dict[Tuple[Tuple, str], LayerCost] = {}
+        cache = self._cache
+        for acc in sub_accelerators:
+            acc_name = acc.name
+            hw_key = self.hardware_key(acc)
+            for layer in layers:
+                shape = layer.shape_key
+                entry = (shape, acc_name)
+                if entry in table:
+                    continue
+                # Inline fast path of :meth:`layer_cost` with the hardware key
+                # hoisted out of the layer loop; misses fall back to the full
+                # method (which recomputes the key and counts the miss).
+                cached = cache.get((shape,) + hw_key)
+                if cached is not None:
+                    self.hits += 1
+                    table[entry] = cached
+                else:
+                    table[entry] = self.layer_cost(layer, acc)
+        return table
 
     def cache_size(self) -> int:
         """Number of memoised (layer, hardware) cost entries."""
@@ -301,16 +353,31 @@ class CostModel:
             reconfigurable=reconfigurable,
         )
 
-    def _key(self, layer: Layer, sub_accelerator: SubAcceleratorConfig) -> Tuple:
+    def hardware_key(self, sub_accelerator: SubAcceleratorConfig) -> Tuple:
+        """The cost-relevant identity of a sub-accelerator configuration.
+
+        Two configurations with equal ``hardware_key`` produce identical costs
+        for every layer; the sub-accelerator *name* deliberately does not
+        participate, so partition candidates that re-create the same array
+        under a different label share memo entries.  The effective DRAM
+        bandwidth is part of the key (the historical full-``Layer`` key omitted
+        it, silently aliasing configurations that differed only off-chip).
+        """
         dataflow_name = sub_accelerator.dataflow.name if sub_accelerator.dataflow else None
+        dram_bytes_per_s = sub_accelerator.dram_bandwidth_bytes_per_s
+        if dram_bytes_per_s is None:
+            dram_bytes_per_s = sub_accelerator.bandwidth_bytes_per_s
         return (
-            layer,
             dataflow_name,
             sub_accelerator.num_pes,
             round(sub_accelerator.bandwidth_bytes_per_s),
+            round(dram_bytes_per_s),
             sub_accelerator.buffer_bytes,
             sub_accelerator.clock_hz,
         )
+
+    def _key(self, layer: Layer, sub_accelerator: SubAcceleratorConfig) -> Tuple:
+        return (layer.shape_key,) + self.hardware_key(sub_accelerator)
 
 
 def metric_value(cost: LayerCost, metric: str) -> float:

@@ -27,9 +27,11 @@ global-NoC tile traffic also bounds latency through the partitioned bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.units import BYTES_PER_ELEMENT
-from repro.dataflow.mapping import Mapping
+from repro.dataflow.mapping import Mapping, build_mapping
+from repro.dataflow.styles import DataflowStyle
 from repro.models.layer import Layer
 
 #: Upper bound on tile-refetch factors; accelerators tile loops to bound refetch.
@@ -94,6 +96,24 @@ def _refetch_factor(layer: Layer, buffer_bytes: int) -> int:
 def _fits(elements: int, buffer_bytes: int) -> bool:
     """Whether a tensor of ``elements`` fits in the sub-accelerator's buffer share."""
     return elements * BYTES_PER_ELEMENT <= buffer_bytes
+
+
+@lru_cache(maxsize=200_000)
+def analyse_layer_reuse(layer: Layer, style: DataflowStyle, num_pes: int,
+                        buffer_bytes: int) -> ReuseAnalysis:
+    """Memoised :func:`analyse_reuse` keyed by what it actually depends on.
+
+    A partition sweep re-estimates the same (layer, style, PE count, buffer)
+    under several NoC bandwidth splits; bandwidth only scales the resulting
+    cycle counts, so the access-count analysis itself is shared.  The mapping
+    comes from the (also memoised) mapper.
+    """
+    return analyse_reuse(build_mapping(layer, style, num_pes), buffer_bytes)
+
+
+def clear_reuse_cache() -> None:
+    """Drop memoised reuse analyses (tests use this to measure cold runs)."""
+    analyse_layer_reuse.cache_clear()
 
 
 def analyse_reuse(mapping: Mapping, buffer_bytes: int) -> ReuseAnalysis:

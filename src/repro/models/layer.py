@@ -26,9 +26,13 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.exceptions import LayerDefinitionError
+
+#: The tuple type of :attr:`Layer.shape_key`: operator type plus every loop
+#: dimension and semantic modifier, in a fixed order.
+ShapeKey = Tuple[str, int, int, int, int, int, int, int, int]
 
 
 class LayerType(enum.Enum):
@@ -80,6 +84,7 @@ class Layer:
 
     def __post_init__(self) -> None:
         self._validate()
+        self._precompute()
 
     # ------------------------------------------------------------------
     # Validation
@@ -113,51 +118,88 @@ class Layer:
             )
 
     # ------------------------------------------------------------------
-    # Derived geometry
+    # Derived geometry (precomputed once; layers are queried by the cost
+    # model and scheduler orders of magnitude more often than they are built)
     # ------------------------------------------------------------------
+    def _precompute(self) -> None:
+        if self.layer_type.is_upscaling:
+            out_y = self.y * self.upscale
+            out_x = self.x * self.upscale
+        else:
+            out_y = (self.y - self.r) // self.stride + 1
+            out_x = (self.x - self.s) // self.stride + 1
+        spatial = out_y * out_x * self.r * self.s
+        if self.layer_type.is_depthwise:
+            macs = self.c * spatial
+            filter_elements = self.c * self.r * self.s
+        else:
+            macs = self.k * self.c * spatial
+            filter_elements = self.k * self.c * self.r * self.s
+        input_elements = self.c * self.y * self.x
+        output_elements = self.k * out_y * out_x
+        # The dataclass is frozen, so the memoised derived values bypass the
+        # generated __setattr__ exactly like the generated __init__ does.
+        cache = object.__setattr__
+        cache(self, "_out_y", out_y)
+        cache(self, "_out_x", out_x)
+        cache(self, "_macs", macs)
+        cache(self, "_input_elements", input_elements)
+        cache(self, "_output_elements", output_elements)
+        cache(self, "_filter_elements", filter_elements)
+        cache(self, "_total_elements",
+              input_elements + output_elements + filter_elements)
+        cache(self, "_shape_key",
+              (self.layer_type.value, self.k, self.c, self.y, self.x,
+               self.r, self.s, self.stride, self.upscale))
+
+    @property
+    def shape_key(self) -> ShapeKey:
+        """Cost-identity of the layer: every dimension, no identity fields.
+
+        Two layers with equal ``shape_key`` have identical cost on every
+        dataflow and hardware configuration, regardless of ``name`` /
+        ``model_name`` — the cost model memoises on this key so the dozens of
+        identically-shaped blocks inside ResNet/MobileNet/SSD (and across
+        batch instances) share one entry.  The key includes ``layer_type``,
+        ``stride``, and ``upscale``, so equal raw dimensions with different
+        operator semantics never alias.
+        """
+        return self._shape_key
+
     @property
     def out_y(self) -> int:
         """Output activation height."""
-        if self.layer_type.is_upscaling:
-            return self.y * self.upscale
-        return (self.y - self.r) // self.stride + 1
+        return self._out_y
 
     @property
     def out_x(self) -> int:
         """Output activation width."""
-        if self.layer_type.is_upscaling:
-            return self.x * self.upscale
-        return (self.x - self.s) // self.stride + 1
+        return self._out_x
 
     @property
     def macs(self) -> int:
         """Number of multiply-accumulate operations performed by the layer."""
-        spatial = self.out_y * self.out_x * self.r * self.s
-        if self.layer_type.is_depthwise:
-            return self.c * spatial
-        return self.k * self.c * spatial
+        return self._macs
 
     @property
     def input_elements(self) -> int:
         """Number of input-activation elements."""
-        return self.c * self.y * self.x
+        return self._input_elements
 
     @property
     def output_elements(self) -> int:
         """Number of output-activation elements."""
-        return self.k * self.out_y * self.out_x
+        return self._output_elements
 
     @property
     def filter_elements(self) -> int:
         """Number of filter-weight elements."""
-        if self.layer_type.is_depthwise:
-            return self.c * self.r * self.s
-        return self.k * self.c * self.r * self.s
+        return self._filter_elements
 
     @property
     def total_elements(self) -> int:
         """Total tensor footprint (input + output + filter) in elements."""
-        return self.input_elements + self.output_elements + self.filter_elements
+        return self._total_elements
 
     @property
     def channel_activation_ratio(self) -> float:

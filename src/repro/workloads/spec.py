@@ -13,7 +13,7 @@ scheduler only serializes true producer→consumer pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import WorkloadError
 from repro.models.graph import ModelGraph
@@ -84,6 +84,24 @@ class WorkloadSpec:
     name: str
     entries: List[Tuple[str, int]] = field(default_factory=list)
     models: Dict[str, ModelGraph] = field(default_factory=dict)
+    #: Derived-state memos keyed by a snapshot of ``entries`` so a mutated
+    #: spec never serves stale expansions.  Excluded from equality and from
+    #: pickles (evaluation tasks ship workloads to pool workers; the memos
+    #: are cheap to rebuild there and would only bloat the pickle).
+    _instances_memo: Optional[Tuple[Tuple[Tuple[str, int], ...],
+                                    List["ModelInstance"]]] = \
+        field(default=None, init=False, repr=False, compare=False)
+    _shapes_memo: Optional[Tuple[Tuple[Tuple[str, int], ...], List[Layer]]] = \
+        field(default=None, init=False, repr=False, compare=False)
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_instances_memo"] = None
+        state["_shapes_memo"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     def __post_init__(self) -> None:
         if not self.entries:
@@ -105,13 +123,44 @@ class WorkloadSpec:
         return self.models[model_name]
 
     def instances(self) -> List[ModelInstance]:
-        """Expand the workload into independent model instances (one per batch)."""
+        """Expand the workload into independent model instances (one per batch).
+
+        The expansion is memoised against a snapshot of ``entries``: the
+        scheduler asks for the instances of the same workload once per design
+        candidate, thousands of times across a DSE sweep.
+        """
+        snapshot = tuple(self.entries)
+        if self._instances_memo is not None and self._instances_memo[0] == snapshot:
+            return list(self._instances_memo[1])
         result: List[ModelInstance] = []
         for model_name, batches in self.entries:
             graph = self.model_graph(model_name)
             for batch in range(batches):
                 result.append(ModelInstance(instance_id=f"{model_name}#{batch}", model=graph))
-        return result
+        self._instances_memo = (snapshot, result)
+        return list(result)
+
+    def unique_shape_layers(self) -> List[Layer]:
+        """One representative layer per distinct shape in the workload.
+
+        This is the deduped working set of the cost model: batches repeat
+        whole models and models repeat block shapes internally, so the list is
+        typically several times shorter than :meth:`all_layers`.  The first
+        layer seen with each :attr:`~repro.models.layer.Layer.shape_key` (in
+        entry order, then dependence order) is the representative.  Memoised
+        like :meth:`instances`, so every design candidate of a partition
+        search / DSE sweep shares one dedupe pass.
+        """
+        snapshot = tuple(self.entries)
+        if self._shapes_memo is not None and self._shapes_memo[0] == snapshot:
+            return list(self._shapes_memo[1])
+        representatives: Dict[Tuple, Layer] = {}
+        for model_name, _ in self.entries:
+            for layer in self.model_graph(model_name).dependence_order():
+                representatives.setdefault(layer.shape_key, layer)
+        result = list(representatives.values())
+        self._shapes_memo = (snapshot, result)
+        return list(result)
 
     def with_batches(self, batches: int, name: str | None = None) -> "WorkloadSpec":
         """Return a copy where every model runs ``batches`` batches (Table VI study)."""
@@ -142,8 +191,13 @@ class WorkloadSpec:
 
     @property
     def unique_layers(self) -> int:
-        """Number of distinct layers (cost-model cache working-set size)."""
+        """Number of distinct layers (batch-independent layer count)."""
         return sum(len(self.model_graph(model_name)) for model_name, _ in self.entries)
+
+    @property
+    def unique_shapes(self) -> int:
+        """Number of distinct layer shapes (cost-model working-set size)."""
+        return len(self.unique_shape_layers())
 
     @property
     def total_macs(self) -> int:

@@ -1,0 +1,280 @@
+"""Golden-baseline harness for scheduler / DSE bit-for-bit equivalence.
+
+The hot-path overhaul (shape-keyed cost memoisation, heap-based list
+scheduler, incremental partition search) must not change a single scheduling
+decision or metric.  This module pins that contract: it defines a scenario
+matrix spanning workload topology (chain, diamond, UNet skip connections, a
+4-instance mixed AR/VR suite), every scheduler configuration axis (metric x
+ordering x load-balance x memory-limit x post-processing), and one full DSE
+ranking run, and serializes the resulting timelines deterministically.
+
+Run as a script to (re)generate the golden files from the current code:
+
+    PYTHONPATH=src python tests/golden_scheduler.py --write
+
+``tests/test_hot_paths.py`` compares the current code against the checked-in
+files, which were generated from the pre-overhaul seed implementation.  Float
+values are serialized with ``repr`` (shortest round-trip form), so comparison
+is exact, not approximate.  Large timelines are pinned by SHA-256 digest to
+keep the golden files reviewable; small ones are stored inline so a mismatch
+is debuggable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.dse import HeraldDSE
+from repro.core.partitioner import PartitionSearch
+from repro.core.scheduler import HeraldScheduler
+from repro.dataflow.styles import NVDLA, SHIDIANNAO
+from repro.maestro.cost import CostModel
+from repro.maestro.hardware import SubAcceleratorConfig
+from repro.models.graph import ModelGraph
+from repro.models.layer import conv2d, dwconv, fc, pwconv
+from repro.units import gbps, mib
+from repro.workloads.spec import WorkloadSpec
+
+GOLDEN_DIR = os.path.join(_HERE, "golden")
+TIMELINES_FILE = os.path.join(GOLDEN_DIR, "scheduler_timelines.json")
+DSE_FILE = os.path.join(GOLDEN_DIR, "dse_rankings.json")
+
+#: Workloads whose full timelines are stored inline (the rest store a digest).
+INLINE_WORKLOADS = ("chain", "diamond")
+
+METRICS = ("edp", "latency", "energy")
+ORDERINGS = ("breadth", "depth")
+LOAD_BALANCE_FACTORS = (None, 1.25)
+POST_PROCESSING = (True, False)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+def _chain_model() -> ModelGraph:
+    layers = [
+        conv2d("conv1", k=32, c=3, y=66, x=66, r=3, s=3, stride=2),
+        dwconv("dw1", c=32, y=34, x=34, r=3, s=3),
+        pwconv("pw1", k=64, c=32, y=32, x=32),
+        conv2d("conv2", k=128, c=64, y=18, x=18, r=3, s=3, stride=2),
+        pwconv("pw2", k=256, c=128, y=8, x=8),
+        fc("fc", k=10, c=256 * 8 * 8),
+    ]
+    return ModelGraph.from_layers("chainnet", layers)
+
+
+def _diamond_model() -> ModelGraph:
+    graph = ModelGraph(name="diamond")
+    graph.add_layer(conv2d("stem", k=3, c=3, y=130, x=130, r=3, s=3))
+    graph.add_layer(pwconv("branch_channel", k=512, c=256, y=8, x=8))
+    graph.add_layer(conv2d("branch_act", k=8, c=3, y=128, x=128, r=3, s=3))
+    graph.add_layer(fc("merge", k=32, c=128))
+    graph.add_edge("stem", "branch_channel")
+    graph.add_edge("stem", "branch_act")
+    graph.add_edge("branch_channel", "merge")
+    graph.add_edge("branch_act", "merge")
+    return graph
+
+
+def build_workloads() -> Dict[str, WorkloadSpec]:
+    """The four golden workload topologies, keyed by scenario name."""
+    return {
+        "chain": WorkloadSpec.from_models("chain-wl", [_chain_model()], 2),
+        "diamond": WorkloadSpec.from_models("diamond-wl", [_diamond_model()], 1),
+        "unet": WorkloadSpec(name="unet-wl", entries=[("unet", 1)]),
+        "mixed4": WorkloadSpec(
+            name="mixed4-wl",
+            entries=[("resnet50", 1), ("unet", 1),
+                     ("mobilenet_v2", 1), ("mobilenet_v1", 1)],
+        ),
+    }
+
+
+#: Memory limits exercised per workload: None plus one binding-but-satisfiable
+#: budget so the deferral / DRAM-spill path participates in the matrix.
+MEMORY_LIMITS: Dict[str, Tuple[Optional[int], ...]] = {
+    "chain": (None, mib(2)),
+    "diamond": (None, mib(2)),
+    "unet": (None, mib(8)),
+    "mixed4": (None, mib(8)),
+}
+
+
+def build_sub_accelerators() -> Tuple[SubAcceleratorConfig, ...]:
+    """A two-way NVDLA + Shi-diannao split of a small chip."""
+    return (
+        SubAcceleratorConfig(
+            name="acc0-nvdla",
+            dataflow=NVDLA,
+            num_pes=128,
+            bandwidth_bytes_per_s=gbps(4),
+            buffer_bytes=mib(2),
+        ),
+        SubAcceleratorConfig(
+            name="acc1-shidiannao",
+            dataflow=SHIDIANNAO,
+            num_pes=128,
+            bandwidth_bytes_per_s=gbps(4),
+            buffer_bytes=mib(2),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario matrix
+# ---------------------------------------------------------------------------
+def scenario_keys(workload_name: str) -> List[str]:
+    """All scenario keys of one workload, in deterministic order."""
+    keys = []
+    for metric in METRICS:
+        for ordering in ORDERINGS:
+            for lb in LOAD_BALANCE_FACTORS:
+                for mem in MEMORY_LIMITS[workload_name]:
+                    for post in POST_PROCESSING:
+                        keys.append(_key(workload_name, metric, ordering, lb,
+                                         mem, post))
+    return keys
+
+
+def _key(workload_name: str, metric: str, ordering: str, lb: Optional[float],
+         mem: Optional[int], post: bool) -> str:
+    return (f"{workload_name}|{metric}|{ordering}|lb={lb}|mem={mem}"
+            f"|post={'on' if post else 'off'}")
+
+
+def parse_key(key: str) -> Dict[str, object]:
+    workload_name, metric, ordering, lb, mem, post = key.split("|")
+    return {
+        "workload": workload_name,
+        "metric": metric,
+        "ordering": ordering,
+        "load_balance_factor": None if lb == "lb=None" else float(lb[3:]),
+        "memory_limit_bytes": None if mem == "mem=None" else int(mem[4:]),
+        "enable_post_processing": post == "post=on",
+    }
+
+
+def run_scenario(key: str, workloads: Dict[str, WorkloadSpec],
+                 cost_model: CostModel) -> Dict[str, object]:
+    """Execute one scenario and return its serialized record."""
+    config = parse_key(key)
+    scheduler = HeraldScheduler(
+        cost_model,
+        metric=config["metric"],
+        ordering=config["ordering"],
+        load_balance_factor=config["load_balance_factor"],
+        memory_limit_bytes=config["memory_limit_bytes"],
+        enable_post_processing=config["enable_post_processing"],
+    )
+    schedule = scheduler.schedule(workloads[config["workload"]],
+                                  build_sub_accelerators())
+    entries = [
+        [entry.instance_id, entry.layer_index, entry.layer.name,
+         entry.sub_accelerator, repr(entry.start_cycle), repr(entry.finish_cycle),
+         repr(entry.cost.latency_cycles), repr(entry.cost.energy_pj)]
+        for entry in schedule.entries
+    ]
+    record: Dict[str, object] = {
+        "digest": timeline_digest(entries),
+        "num_entries": len(entries),
+        "makespan_cycles": repr(schedule.makespan_cycles),
+        "total_energy_pj": repr(schedule.total_energy_pj),
+        "edp_js": repr(schedule.edp),
+        "memory_violations": scheduler.last_memory_violations,
+    }
+    if config["workload"] in INLINE_WORKLOADS:
+        record["entries"] = entries
+    return record
+
+
+def timeline_digest(entries: List[List[object]]) -> str:
+    """SHA-256 over the canonical JSON form of a serialized timeline."""
+    payload = json.dumps(entries, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def generate_timelines() -> Dict[str, Dict[str, object]]:
+    """Run every scenario with one shared cost model."""
+    workloads = build_workloads()
+    cost_model = CostModel()
+    results: Dict[str, Dict[str, object]] = {}
+    for workload_name in workloads:
+        for key in scenario_keys(workload_name):
+            results[key] = run_scenario(key, workloads, cost_model)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# DSE ranking golden
+# ---------------------------------------------------------------------------
+def _dse_workload() -> WorkloadSpec:
+    channel_heavy = ModelGraph.from_layers("channelnet", [
+        pwconv("pw1", k=512, c=256, y=14, x=14),
+        pwconv("pw2", k=1024, c=512, y=7, x=7),
+        fc("fc1", k=2048, c=1024),
+        fc("fc2", k=1000, c=2048),
+    ])
+    activation_heavy = ModelGraph.from_layers("actnet", [
+        conv2d("conv1", k=16, c=3, y=130, x=130, r=3, s=3),
+        conv2d("conv2", k=16, c=16, y=128, x=128, r=3, s=3),
+        conv2d("conv3", k=32, c=16, y=126, x=126, r=3, s=3),
+    ])
+    return WorkloadSpec.from_models(
+        "dse-mix", [_chain_model(), channel_heavy, activation_heavy],
+        batches=[2, 1, 1])
+
+
+def run_dse(backend=None) -> List[List[str]]:
+    """One binary-strategy DSE on a small chip; returns ordered point rows."""
+    from repro.maestro.hardware import ChipConfig
+
+    chip = ChipConfig(name="tiny", num_pes=256,
+                      noc_bandwidth_bytes_per_s=gbps(8),
+                      global_buffer_bytes=mib(2))
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model)
+    search = PartitionSearch(cost_model=cost_model, scheduler=scheduler,
+                             strategy="binary", pe_steps=4, bw_steps=2)
+    dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler,
+                    partition_search=search, backend=backend)
+    space = dse.explore(_dse_workload(), chip, include_three_way=False)
+    return [
+        [point.category, point.design.name, repr(point.latency_s),
+         repr(point.energy_mj), repr(point.edp)]
+        for point in space.points
+    ]
+
+
+# ---------------------------------------------------------------------------
+# File I/O
+# ---------------------------------------------------------------------------
+def load_golden(path: str) -> object:
+    with open(path, "r") as handle:
+        return json.load(handle)
+
+
+def write_golden() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    with open(TIMELINES_FILE, "w") as handle:
+        json.dump(generate_timelines(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    with open(DSE_FILE, "w") as handle:
+        json.dump(run_dse(), handle, indent=1)
+        handle.write("\n")
+
+
+if __name__ == "__main__":
+    if "--write" not in sys.argv:
+        print("usage: python tests/golden_scheduler.py --write", file=sys.stderr)
+        raise SystemExit(2)
+    write_golden()
+    print(f"wrote {TIMELINES_FILE} and {DSE_FILE}")

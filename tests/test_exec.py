@@ -75,10 +75,17 @@ class TestSerialBackend:
     def test_second_run_is_fully_cached(self, tiny_chip, small_workload):
         backend = SerialBackend()
         tasks = [EvaluationTask(0, make_fda(tiny_chip, NVDLA), small_workload)]
-        backend.run(tasks)
-        backend.run(tasks)
+        first = backend.run(tasks)[0]
+        entries_after_first = backend.cost_model.cache_size()
+        second = backend.run(tasks)[0]
+        # Shape dedupe queries each (shape, hardware) pair exactly once and
+        # the scheduler's per-design ranking memo can satisfy the whole second
+        # run without touching the cost model, so the warm proof is: zero cold
+        # evaluations, no new memo entries, identical metrics.
         assert backend.last_cold_evaluations == 0
-        assert backend.last_cache_hits > 0
+        assert backend.cost_model.cache_size() == entries_after_first
+        assert (second.latency_s, second.energy_mj, second.edp) == \
+            (first.latency_s, first.energy_mj, first.edp)
 
     def test_duplicate_task_ids_rejected_like_pool_backend(self, tiny_chip,
                                                            small_workload):
@@ -206,7 +213,7 @@ class TestPersistentCostCache:
         backend = SerialBackend(cache=PersistentCostCache(path))
         backend.run([EvaluationTask(0, make_fda(tiny_chip, NVDLA), small_workload)])
         payload = json.loads(open(path).read())
-        payload["entries"][0]["layer"]["k"] = 0
+        payload["entries"][0]["cost"]["layer"]["k"] = 0
         with open(path, "w") as handle:
             json.dump(payload, handle)
         cache = PersistentCostCache(path)
