@@ -65,6 +65,7 @@ from repro.maestro.hardware import SubAcceleratorConfig
 from repro.maestro.reuse import analyse_reuse, clear_reuse_cache
 from repro.models.graph import ModelGraph
 from repro.models.layer import conv2d, pwconv
+from repro.serve import ServingSimulator, streaming_suite
 from repro.units import BYTES_PER_ELEMENT, gbps, mib
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suites import arvr_a, arvr_b, mlperf
@@ -213,11 +214,12 @@ class LegacyScheduler(HeraldScheduler):
     it — only the work per decision differs.
     """
 
-    def schedule(self, workload, sub_accelerators):
+    def schedule(self, workload, sub_accelerators, release_cycles=None):
         # The seed had no workload-level memos: re-expand per call.
         workload._instances_memo = None
         workload._shapes_memo = None
-        return super().schedule(workload, sub_accelerators)
+        return super().schedule(workload, sub_accelerators,
+                                release_cycles=release_cycles)
 
     def _initial_assignment(self, workload, sub_accelerators):
         states = [
@@ -296,8 +298,10 @@ class LegacyScheduler(HeraldScheduler):
         _, name, cost = ranked[0]
         return name, cost
 
-    def _list_schedule(self, assignments, sub_accelerators):
-        return self._list_schedule_reference(assignments, sub_accelerators)
+    def _list_schedule(self, assignments, sub_accelerators,
+                       release_cycles=None):
+        return self._list_schedule_reference(assignments, sub_accelerators,
+                                             release_cycles=release_cycles)
 
     def _empty_schedule(self, sub_accelerators):
         return _LegacySchedule(
@@ -589,6 +593,61 @@ def bench_explore(quick: bool) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Section 5: streaming (online serving) overhead
+# ---------------------------------------------------------------------------
+
+def bench_serving(quick: bool) -> Dict[str, object]:
+    """Online-mode overhead over the batch path, plus its correctness gate.
+
+    The release-aware list schedule rides the same event heap as the batch
+    path, so online scheduling of the streaming AR/VR-A scenario should cost
+    within a few percent of batch scheduling the identical frame set; the
+    section measures that ratio and — as the gate ``--check`` enforces —
+    asserts that an all-zero release trace reproduces the batch timeline
+    bit-for-bit.
+    """
+    streaming = streaming_suite("arvr-a", frames=1 if quick else 4)
+    spec = streaming.to_workload_spec()
+    chip = ACCELERATOR_CLASSES["edge"]
+    accs = _two_way_split(chip)
+    clock = accs[0].clock_hz
+    releases = streaming.release_cycles(clock)
+    repeats = 5 if quick else 20
+
+    model = CostModel()
+    scheduler = HeraldScheduler(model)
+    scheduler.schedule(spec, accs)  # warm the memos once
+
+    batch_s, _ = _timed(lambda: [scheduler.schedule(spec, accs)
+                                 for _ in range(repeats)])
+    online_s, _ = _timed(lambda: [scheduler.schedule(spec, accs,
+                                                     release_cycles=releases)
+                                  for _ in range(repeats)])
+
+    zero = {instance_id: 0.0 for instance_id in releases}
+    timeline = lambda s: [(e.instance_id, e.layer_index, e.sub_accelerator,
+                           e.start_cycle, e.finish_cycle) for e in s.entries]
+    zero_identical = (timeline(scheduler.schedule(spec, accs,
+                                                  release_cycles=zero)) ==
+                      timeline(scheduler.schedule(spec, accs)))
+
+    simulate_s, result = _timed(
+        lambda: ServingSimulator(scheduler).simulate(streaming, accs))
+    return {
+        "workload": streaming.name,
+        "frames": streaming.total_frames,
+        "layer_executions": spec.total_layers,
+        "repeats": repeats,
+        "batch_s": batch_s / repeats,
+        "online_s": online_s / repeats,
+        "online_overhead": (online_s / batch_s) if batch_s > 0 else 1.0,
+        "simulate_s": simulate_s,
+        "deadline_miss_rate": result.report.deadline_miss_rate,
+        "zero_release_identical": zero_identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -602,7 +661,8 @@ def run_all(quick: bool) -> Dict[str, object]:
     for name, section in (("cost_model", bench_cost_model),
                           ("list_schedule", bench_list_schedule),
                           ("warm_scheduling", bench_warm_scheduling),
-                          ("explore", bench_explore)):
+                          ("explore", bench_explore),
+                          ("serving", bench_serving)):
         print(f"[bench_hot_paths] running {name} ...", flush=True)
         results[name] = section(quick)
         print(f"[bench_hot_paths]   {json.dumps(results[name])}")
@@ -630,6 +690,9 @@ def check_against_baseline(results: Dict[str, object],
         failures.append("legacy and current explore() rankings diverged")
     if not results["explore"]["point_metrics_identical"]:
         failures.append("legacy and current explore() point metrics diverged")
+    if not results["serving"]["zero_release_identical"]:
+        failures.append("online scheduling with an all-zero release trace "
+                        "diverged from the batch schedule")
     return failures
 
 

@@ -10,7 +10,9 @@ The library implements the paper's full stack:
 * **Herald**: the scheduler, hardware partitioner, and co-DSE driver
   (:mod:`repro.core`);
 * a pluggable execution engine — serial / process-pool backends and a
-  persistent cost cache — for large sweeps (:mod:`repro.exec`); and
+  persistent cost cache — for large sweeps (:mod:`repro.exec`);
+* a streaming serving simulator — frame-arrival traces, online scheduling,
+  SLA metrics, sustained FPS (:mod:`repro.serve`); and
 * analysis helpers (:mod:`repro.analysis`).
 
 Quickstart
@@ -82,9 +84,17 @@ from repro.exec import (
     ProcessPoolBackend,
     SerialBackend,
 )
+from repro.serve import (
+    ServingReport,
+    ServingSimulator,
+    StreamSpec,
+    StreamingWorkload,
+    streaming_suite,
+    sustained_fps,
+)
 from repro.analysis import pareto_front, percent_improvement
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -147,6 +157,13 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "PersistentCostCache",
+    # serving
+    "StreamSpec",
+    "StreamingWorkload",
+    "streaming_suite",
+    "ServingSimulator",
+    "ServingReport",
+    "sustained_fps",
     # analysis
     "pareto_front",
     "percent_improvement",

@@ -1,8 +1,10 @@
 """Analysis utilities: EDP metrics, Pareto fronts, and experiment sweeps."""
 
 from repro.analysis.metrics import (
+    deadline_miss_rate,
     edp,
     percent_improvement,
+    percentile,
     geometric_mean,
     gain_table,
 )
@@ -14,8 +16,10 @@ from repro.analysis.sweeps import (
 )
 
 __all__ = [
+    "deadline_miss_rate",
     "edp",
     "percent_improvement",
+    "percentile",
     "geometric_mean",
     "gain_table",
     "pareto_front",

@@ -3,13 +3,16 @@
 The paper reports results as percentage improvements ("65.3 % lower latency",
 "5.0 % lower energy") of one design over another; the helpers here compute
 those numbers consistently so every benchmark and example reports them the
-same way.
+same way.  The latency-distribution helpers (:func:`percentile`,
+:func:`deadline_miss_rate`) serve the streaming serving simulator, whose SLA
+reports are tail-latency percentiles against per-frame deadlines rather than
+makespan aggregates.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
 
 def edp(energy_j: float, latency_s: float) -> float:
@@ -45,6 +48,65 @@ def geometric_mean(values: Iterable[float]) -> float:
     if any(value <= 0 for value in values):
         raise ValueError("geometric mean requires strictly positive values")
     return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile of ``values`` (``0 <= q <= 100``).
+
+    The input need not be sorted; it is copied and sorted internally.  A
+    single-sample input returns that sample for every ``q``.  Uses the
+    standard "linear" (NumPy default / Excel inclusive) method: the rank is
+    ``(n - 1) * q / 100`` and fractional ranks interpolate between the two
+    neighbouring order statistics.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or ``q`` is outside ``[0, 100]``.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be within [0, 100] (got {q})")
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * (q / 100.0)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return data[low]
+    fraction = rank - low
+    return data[low] * (1.0 - fraction) + data[high] * fraction
+
+
+def deadline_miss_rate(latencies: Iterable[float],
+                       deadlines: Union[float, Iterable[float]]) -> float:
+    """Fraction of ``latencies`` strictly exceeding their deadline.
+
+    ``deadlines`` is either one scalar deadline shared by every sample or a
+    per-sample sequence of the same length.  An empty ``latencies`` sequence
+    has no missed frames, so the rate is ``0.0``.
+
+    Raises
+    ------
+    ValueError
+        If a per-sample deadline sequence has a different length than
+        ``latencies``.
+    """
+    observed = list(latencies)
+    if not observed:
+        return 0.0
+    if isinstance(deadlines, (int, float)):
+        bounds: List[float] = [float(deadlines)] * len(observed)
+    else:
+        bounds = [float(deadline) for deadline in deadlines]
+        if len(bounds) != len(observed):
+            raise ValueError(
+                f"got {len(observed)} latencies but {len(bounds)} deadlines"
+            )
+    missed = sum(1 for latency, bound in zip(observed, bounds) if latency > bound)
+    return missed / len(observed)
 
 
 def gain_table(baselines: Mapping[str, Mapping[str, float]],

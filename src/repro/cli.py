@@ -1,6 +1,6 @@
 """Command-line interface for the Herald reproduction.
 
-Three sub-commands mirror how the paper uses Herald:
+Four sub-commands mirror how the paper uses Herald:
 
 ``herald describe``
     Print the workload and accelerator-class inventories.
@@ -10,13 +10,21 @@ Three sub-commands mirror how the paper uses Herald:
 ``herald dse``
     Run the co-design-space exploration for a workload and an accelerator
     class and print the best design per accelerator category.
+``herald serve``
+    Simulate streaming frame arrivals (per-model Table II FPS targets) on one
+    design and print per-model latency percentiles, deadline-miss rates, and
+    the sustained-FPS operating point.
+
+Numeric arguments are validated in the parser (``type=`` callables raising
+``ArgumentTypeError``), so a bad ``--jobs 0`` or negative ``--pe-steps`` fails
+immediately with a clear message instead of deep inside the search.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.accel import accelerator_class, make_fda, make_hda, make_rda
 from repro.accel.classes import ACCELERATOR_CLASSES
@@ -25,8 +33,47 @@ from repro.core.partitioner import PartitionSearch
 from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
 from repro.exec import PersistentCostCache, ProcessPoolBackend, SerialBackend
 from repro.maestro import CostModel
+from repro.serve import ServingSimulator, streaming_suite, sustained_fps
 from repro.workloads import workload_by_name
 from repro.workloads.suites import WORKLOAD_SUITES
+
+#: Design names accepted by ``herald schedule`` / ``herald serve``.
+DESIGN_CHOICES = ["maelstrom", "rda", "fda-nvdla", "fda-shidiannao",
+                  "fda-eyeriss"]
+
+
+def _int_at_least(minimum: int) -> Callable[[str], int]:
+    """Parser type: an integer ``>= minimum``, rejected with a clear message."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer, got {text!r}") from None
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"must be an integer >= {minimum} (got {value})")
+        return value
+
+    return parse
+
+
+def _float_at_least(minimum: float, exclusive: bool = False) -> Callable[[str], float]:
+    """Parser type: a float ``>= minimum`` (``>`` when ``exclusive``)."""
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected a number, got {text!r}") from None
+        if value < minimum or (exclusive and value == minimum):
+            bound = f"> {minimum}" if exclusive else f">= {minimum}"
+            raise argparse.ArgumentTypeError(f"must be {bound} (got {value})")
+        return value
+
+    return parse
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,23 +89,42 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule = sub.add_parser("schedule", help="schedule a workload on one design")
     schedule.add_argument("--workload", default="arvr-a", choices=sorted(WORKLOAD_SUITES))
     schedule.add_argument("--chip", default="edge", choices=sorted(ACCELERATOR_CLASSES))
-    schedule.add_argument("--design", default="maelstrom",
-                          choices=["maelstrom", "rda", "fda-nvdla", "fda-shidiannao",
-                                   "fda-eyeriss"])
+    schedule.add_argument("--design", default="maelstrom", choices=DESIGN_CHOICES)
     schedule.add_argument("--metric", default="edp", choices=["edp", "latency", "energy"])
 
     dse = sub.add_parser("dse", help="run the co-design-space exploration")
     dse.add_argument("--workload", default="arvr-a", choices=sorted(WORKLOAD_SUITES))
     dse.add_argument("--chip", default="edge", choices=sorted(ACCELERATOR_CLASSES))
-    dse.add_argument("--pe-steps", type=int, default=8,
-                     help="granularity of the PE partition search")
-    dse.add_argument("--bw-steps", type=int, default=4,
-                     help="granularity of the bandwidth partition search")
-    dse.add_argument("--jobs", type=int, default=1,
+    dse.add_argument("--pe-steps", type=_int_at_least(2), default=8,
+                     help="granularity of the PE partition search (>= 2)")
+    dse.add_argument("--bw-steps", type=_int_at_least(1), default=4,
+                     help="granularity of the bandwidth partition search (>= 1)")
+    dse.add_argument("--jobs", type=_int_at_least(1), default=1,
                      help="worker processes for design evaluation (1 = in-process)")
     dse.add_argument("--cache-file", default=None, metavar="PATH",
                      help="JSON file the cost-model cache is loaded from / saved to, "
                           "so repeated sweeps start warm")
+
+    serve = sub.add_parser(
+        "serve", help="simulate streaming frame arrivals on one design")
+    serve.add_argument("--workload", default="arvr-a", choices=sorted(WORKLOAD_SUITES))
+    serve.add_argument("--chip", default="edge", choices=sorted(ACCELERATOR_CLASSES))
+    serve.add_argument("--design", default="maelstrom", choices=DESIGN_CHOICES)
+    serve.add_argument("--metric", default="edp", choices=["edp", "latency", "energy"],
+                       help="layer-assignment objective of the online scheduler")
+    serve.add_argument("--frames", type=_int_at_least(1), default=4,
+                       help="frames simulated per stream source")
+    serve.add_argument("--fps-scale", type=_float_at_least(0.0, exclusive=True),
+                       default=1.0,
+                       help="multiplier on the per-model Table II FPS targets")
+    serve.add_argument("--jitter-ms", type=_float_at_least(0.0), default=0.0,
+                       help="uniform arrival jitter half-width in milliseconds")
+    serve.add_argument("--seed", type=int, default=0, help="arrival-jitter seed")
+    serve.add_argument("--skip-sustained", action="store_true",
+                       help="skip the sustained-FPS binary search")
+    serve.add_argument("--optimize-sla", action="store_true",
+                       help="additionally search the maelstrom PE/BW partition "
+                            "under the SLA objective (zero misses, min p99)")
     return parser
 
 
@@ -73,20 +139,27 @@ def _command_describe() -> int:
     return 0
 
 
+def _named_design(name: str, workload, chip, cost_model, scheduler):
+    """Resolve a ``--design`` name to a concrete accelerator design.
+
+    ``maelstrom`` runs the paper's partition search for the (batch) workload;
+    the FDA / RDA names are direct constructions.
+    """
+    if name == "maelstrom":
+        dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler)
+        return dse.maelstrom_design(workload, chip)
+    if name == "rda":
+        return make_rda(chip)
+    style = style_by_name(name.split("-", 1)[1])
+    return make_fda(chip, style)
+
+
 def _command_schedule(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     chip = accelerator_class(args.chip)
     cost_model = CostModel()
     scheduler = HeraldScheduler(cost_model, metric=args.metric)
-
-    if args.design == "maelstrom":
-        dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler)
-        design = dse.maelstrom_design(workload, chip)
-    elif args.design == "rda":
-        design = make_rda(chip)
-    else:
-        style = style_by_name(args.design.split("-", 1)[1])
-        design = make_fda(chip, style)
+    design = _named_design(args.design, workload, chip, cost_model, scheduler)
 
     result = evaluate_design(design, workload, cost_model=cost_model, scheduler=scheduler)
     print(design.describe())
@@ -96,9 +169,6 @@ def _command_schedule(args: argparse.Namespace) -> int:
 
 
 def _command_dse(args: argparse.Namespace) -> int:
-    if args.jobs < 1:
-        print(f"error: --jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
-        return 2
     workload = workload_by_name(args.workload)
     chip = accelerator_class(args.chip)
     cost_model = CostModel()
@@ -126,6 +196,43 @@ def _command_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    batch_workload = workload_by_name(args.workload)
+    chip = accelerator_class(args.chip)
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model, metric=args.metric)
+    design = _named_design(args.design, batch_workload, chip, cost_model, scheduler)
+
+    streaming = streaming_suite(args.workload, frames=args.frames,
+                                fps_scale=args.fps_scale,
+                                jitter_s=args.jitter_ms / 1e3, seed=args.seed)
+    simulator = ServingSimulator(scheduler)
+    result = simulator.simulate(streaming, design.sub_accelerators)
+
+    print(design.describe())
+    print(streaming.describe())
+    print(result.report.describe())
+
+    if not args.skip_sustained:
+        sustained = sustained_fps(simulator, streaming, design.sub_accelerators)
+        print(sustained.describe())
+
+    if args.optimize_sla:
+        search = PartitionSearch(cost_model=cost_model, scheduler=scheduler,
+                                 metric="sla")
+        best = search.search_best(chip, [NVDLA, SHIDIANNAO], streaming)
+        frames = best.result.frame_summary()
+        if frames["missed_frames"]:
+            print("SLA search: no partition serves this scenario without "
+                  "deadline misses; best-tail partition:")
+        else:
+            print("SLA-optimal maelstrom partition (zero misses, min p99):")
+        print("  " + best.describe())
+        print(f"  p99 frame latency {frames['p99_latency_s'] * 1e3:.3f} ms, "
+              f"miss rate {frames['deadline_miss_rate']:.1%}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     args = _build_parser().parse_args(argv)
@@ -135,6 +242,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_schedule(args)
     if args.command == "dse":
         return _command_dse(args)
+    if args.command == "serve":
+        return _command_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -32,7 +32,7 @@ from repro.accel.design import AcceleratorDesign, AcceleratorKind
 from repro.dataflow.styles import ALL_STYLES, NVDLA, SHIDIANNAO, DataflowStyle
 from repro.maestro.cost import CostModel
 from repro.maestro.hardware import ChipConfig
-from repro.core.evaluator import EvaluationResult
+from repro.core.evaluator import EvaluationResult, sla_rank_key
 from repro.core.partitioner import PartitionPoint, PartitionSearch
 from repro.core.scheduler import HeraldScheduler
 from repro.workloads.spec import WorkloadSpec
@@ -84,7 +84,13 @@ class DSEResult:
         return [point for point in self.points if point.category == category]
 
     def best(self, category: Optional[str] = None, metric: str = "edp") -> DesignSpacePoint:
-        """Best point overall or within a category, by the given metric."""
+        """Best point overall or within a category, by the given metric.
+
+        ``"sla"`` (streaming design spaces) ranks by the shared
+        :func:`~repro.core.evaluator.sla_rank_key` — ``(missed deadlines?,
+        p99 frame latency, EDP)``: minimise tail latency subject to zero
+        deadline misses, exactly as ``PartitionSearch(metric="sla")`` does.
+        """
         pool = self.points if category is None else self.by_category(category)
         if not pool:
             raise SearchError(
@@ -95,6 +101,7 @@ class DSEResult:
             "edp": lambda p: p.edp,
             "latency": lambda p: p.latency_s,
             "energy": lambda p: p.energy_mj,
+            "sla": lambda p: sla_rank_key(p.result),
         }[metric]
         return min(pool, key=key)
 

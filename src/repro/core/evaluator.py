@@ -5,13 +5,23 @@ the scheduler (:mod:`repro.core.scheduler`), and the cost model
 (:mod:`repro.maestro`).  Every experiment in the paper boils down to calling
 :func:`evaluate_design` on some (design, workload) pair and comparing the
 resulting latency / energy / EDP numbers.
+
+Streaming workloads (:class:`~repro.serve.workload.StreamingWorkload`) are
+accepted everywhere a batch workload is: the evaluator recognises them by
+duck typing (``to_workload_spec``), converts the per-frame release times and
+deadlines into cycles at the design's clock, and schedules in online mode.
+The resulting schedule carries the frame accounting, so SLA-aware consumers
+(``metric="sla"`` partition search / DSE selection) read tail latency and
+deadline misses straight off the :class:`EvaluationResult`.  The recognition
+is duck-typed rather than an ``isinstance`` against :mod:`repro.serve` to
+keep the core free of an import cycle (serve builds on core).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.accel.design import AcceleratorDesign
 from repro.maestro.cost import CostModel
@@ -71,6 +81,28 @@ class EvaluationResult:
             "load_imbalance": self.schedule.load_imbalance_finite(),
         }
 
+    def frame_summary(self) -> Dict[str, float]:
+        """Frame-latency statistics of the schedule (see
+        :meth:`~repro.core.schedule.Schedule.frame_summary`).
+
+        For a batch evaluation (no release information) latencies are
+        measured from cycle zero — i.e. per-instance completion times — and
+        the deadline statistics are zero because no deadlines are attached.
+        """
+        return self.schedule.frame_summary()
+
+    @property
+    def p99_latency_s(self) -> float:
+        """p99 per-frame latency; for batch evaluations, the p99 per-instance
+        completion time measured from cycle zero."""
+        return self.frame_summary()["p99_latency_s"]
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of frames past their deadline (0.0 when no deadlines are
+        attached, as in any batch evaluation)."""
+        return self.frame_summary()["deadline_miss_rate"]
+
     def describe(self) -> str:
         """One-line description used by reports and the CLI."""
         return (
@@ -78,6 +110,37 @@ class EvaluationResult:
             f"latency {self.latency_s * 1e3:.2f} ms, energy {self.energy_mj:.2f} mJ, "
             f"EDP {self.edp:.4g} J*s"
         )
+
+
+def sla_rank_key(result: "EvaluationResult") -> Tuple[int, float, float]:
+    """The SLA objective's lexicographic ranking key for one evaluation.
+
+    ``(missed deadlines?, p99 frame latency, EDP)`` — zero-miss designs beat
+    deadline-missing ones, then the tail, then efficiency.  The single
+    definition both :class:`~repro.core.partitioner.PartitionSearch`
+    (``metric="sla"``) and :meth:`~repro.core.dse.DSEResult.best` rank by, so
+    the two searches can never disagree about which point "wins" the SLA.
+    """
+    frames = result.frame_summary()
+    return (1 if frames["missed_frames"] else 0, frames["p99_latency_s"],
+            result.edp)
+
+
+def streaming_parts(workload) -> Tuple[WorkloadSpec, Optional[object]]:
+    """Split a (possibly streaming) workload into (batch spec, streaming).
+
+    Plain :class:`WorkloadSpec` objects pass through as ``(spec, None)``;
+    anything exposing the streaming surface (``to_workload_spec`` /
+    ``release_cycles`` / ``deadline_cycles``, i.e. a
+    :class:`~repro.serve.workload.StreamingWorkload`) is expanded and handed
+    back so the caller can convert its trace at the design's clock.  The
+    recognition is duck-typed rather than an ``isinstance`` to keep the core
+    free of an import cycle (serve builds on core).
+    """
+    expand = getattr(workload, "to_workload_spec", None)
+    if expand is None:
+        return workload, None
+    return expand(), workload
 
 
 def evaluate_design(design: AcceleratorDesign, workload: WorkloadSpec,
@@ -89,12 +152,23 @@ def evaluate_design(design: AcceleratorDesign, workload: WorkloadSpec,
     configured scheduler (or a :class:`~repro.core.greedy.GreedyScheduler`,
     which exposes the same ``schedule`` method) is supplied.  Monolithic
     designs (FDA / RDA) have a single sub-accelerator, so the same scheduler
-    simply produces a sequential schedule for them.
+    simply produces a sequential schedule for them.  A streaming workload is
+    scheduled in online mode against its arrival trace (releases/deadlines
+    converted to cycles at the design's clock), and the returned result's
+    schedule carries the per-frame accounting.
     """
     model = cost_model or CostModel()
     active_scheduler = scheduler or HeraldScheduler(model)
+    spec, streaming = streaming_parts(workload)
+    clock = design.sub_accelerators[0].clock_hz
     start = time.perf_counter()
-    schedule = active_scheduler.schedule(workload, design.sub_accelerators)
+    if streaming is None:
+        schedule = active_scheduler.schedule(spec, design.sub_accelerators)
+    else:
+        schedule = active_scheduler.schedule(
+            spec, design.sub_accelerators,
+            release_cycles=streaming.release_cycles(clock))
+        schedule.instance_deadline_cycles = streaming.deadline_cycles(clock)
     elapsed = time.perf_counter() - start
     return EvaluationResult(
         design=design,

@@ -10,12 +10,13 @@ the others sit idle.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.exceptions import SchedulingError
 from repro.maestro.cost import CostModel, metric_value
 from repro.maestro.hardware import SubAcceleratorConfig
 from repro.core.schedule import Schedule, ScheduledLayer
+from repro.core.scheduler import checked_release_cycles
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -37,10 +38,20 @@ class GreedyScheduler:
         self.metric = metric
 
     def schedule(self, workload: WorkloadSpec,
-                 sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
-        """Schedule ``workload`` greedily onto ``sub_accelerators``."""
+                 sub_accelerators: Sequence[SubAcceleratorConfig],
+                 release_cycles: Optional[Mapping[str, float]] = None) -> Schedule:
+        """Schedule ``workload`` greedily onto ``sub_accelerators``.
+
+        ``release_cycles`` (instance id -> arrival cycle) matches the online
+        serving mode of :class:`~repro.core.scheduler.HeraldScheduler`: an
+        instance's first layer starts no earlier than its release.  The
+        baseline walks instances depth-first regardless, so releases only
+        delay starts.
+        """
         if not sub_accelerators:
             raise SchedulingError("cannot schedule onto an empty sub-accelerator list")
+        releases = checked_release_cycles(release_cycles, workload.instances())
+        released_at = releases.get if releases else None
         schedule = Schedule(
             sub_accelerator_names=tuple(acc.name for acc in sub_accelerators),
             clock_hz=sub_accelerators[0].clock_hz,
@@ -50,7 +61,8 @@ class GreedyScheduler:
         acc_available: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
 
         for instance in workload.instances():
-            previous_finish = 0.0
+            previous_finish = (released_at(instance.instance_id, 0.0)
+                               if released_at else 0.0)
             for layer_index, layer in enumerate(instance.layers_in_dependence_order()):
                 best_acc = None
                 best_cost = None
@@ -76,6 +88,8 @@ class GreedyScheduler:
                 acc_available[best_acc] = finish
                 previous_finish = finish
 
+        if releases:
+            schedule.instance_release_cycles = releases
         expected = {instance.instance_id: instance.num_layers
                     for instance in workload.instances()}
         schedule.validate(expected_layers=expected)

@@ -27,7 +27,7 @@ from repro.accel.design import AcceleratorDesign
 from repro.dataflow.styles import DataflowStyle
 from repro.maestro.cost import CostModel
 from repro.maestro.hardware import ChipConfig, SubAcceleratorConfig
-from repro.core.evaluator import EvaluationResult, evaluate_design
+from repro.core.evaluator import EvaluationResult, evaluate_design, sla_rank_key
 from repro.core.scheduler import HeraldScheduler
 from repro.workloads.spec import WorkloadSpec
 
@@ -126,7 +126,11 @@ class PartitionSearch:
     bw_steps:
         Number of bandwidth granularity steps.
     metric:
-        Objective used to pick the best partition (``"edp"`` by default).
+        Objective used to pick the best partition: ``"edp"`` (default),
+        ``"latency"``, ``"energy"``, or ``"sla"``.  The SLA objective is for
+        streaming workloads: it minimises p99 frame latency *subject to zero
+        deadline misses* (any partition that misses a deadline ranks after
+        every partition that does not; EDP breaks remaining ties).
     samples:
         Number of random samples when ``strategy == "random"``.
     seed:
@@ -141,7 +145,7 @@ class PartitionSearch:
             raise SearchError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
         if pe_steps < 2 or bw_steps < 1:
             raise SearchError("pe_steps must be >= 2 and bw_steps >= 1")
-        if metric not in ("edp", "latency", "energy"):
+        if metric not in ("edp", "latency", "energy", "sla"):
             raise SearchError(f"unknown metric {metric!r}")
         self.cost_model = cost_model or CostModel()
         self.scheduler = scheduler or HeraldScheduler(self.cost_model)
@@ -312,7 +316,16 @@ class PartitionSearch:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _objective(self, point: PartitionPoint) -> float:
+    def _objective(self, point: PartitionPoint):
+        """Comparable ranking key of one point under the configured metric.
+
+        Scalar for the classic metrics; for ``"sla"`` the shared lexicographic
+        :func:`~repro.core.evaluator.sla_rank_key` — zero-miss points always
+        beat missing ones, then the tail, then efficiency.  Keys are only
+        compared within one metric, so the mixed types are safe.
+        """
+        if self.metric == "sla":
+            return sla_rank_key(point.result)
         if self.metric == "edp":
             return point.edp
         if self.metric == "latency":

@@ -136,6 +136,14 @@ class Schedule:
     pes_per_sub_accelerator: Dict[str, int] = field(default_factory=dict)
     instance_predecessors: Dict[str, Tuple[FrozenSet[int], ...]] = \
         field(default_factory=dict)
+    #: Online serving mode: per-instance frame release cycles (instances
+    #: absent from the map released at cycle zero).  Attached by the scheduler
+    #: when scheduling against an arrival trace; validation then additionally
+    #: checks that no layer starts before its instance's release.
+    instance_release_cycles: Dict[str, float] = field(default_factory=dict)
+    #: Optional absolute per-instance deadline cycles (release + SLA bound),
+    #: attached by the serving simulator; consumed by :meth:`frame_summary`.
+    instance_deadline_cycles: Dict[str, float] = field(default_factory=dict)
     #: Per-sub-accelerator timeline/busy-time memo; rebuilt whenever the entry
     #: count changes (see :meth:`_sync_caches`).
     _timeline_cache: Dict[str, List[ScheduledLayer]] = \
@@ -302,6 +310,85 @@ class Schedule:
             return LOAD_IMBALANCE_UNUSED_SENTINEL
         return imbalance
 
+    # ------------------------------------------------------------------
+    # Per-frame (serving) accounting
+    # ------------------------------------------------------------------
+    def frame_records(self) -> Dict[str, Dict[str, float]]:
+        """Per-instance frame accounting: release, finish, and latency cycles.
+
+        One record per scheduled instance.  The release is the instance's
+        :attr:`instance_release_cycles` entry (zero when absent — the batch
+        case), the finish is its last layer's finish cycle, and the latency is
+        their difference: the time a frame spends in the system, the quantity
+        serving SLAs are written against.
+        """
+        finishes: Dict[str, float] = {}
+        for entry in self.entries:
+            previous = finishes.get(entry.instance_id)
+            if previous is None or entry.finish_cycle > previous:
+                finishes[entry.instance_id] = entry.finish_cycle
+        releases = self.instance_release_cycles
+        return {
+            instance_id: {
+                "release_cycle": releases.get(instance_id, 0.0),
+                "finish_cycle": finish,
+                "latency_cycles": finish - releases.get(instance_id, 0.0),
+            }
+            for instance_id, finish in finishes.items()
+        }
+
+    def frame_latencies_s(self) -> Dict[str, float]:
+        """Per-instance frame latency in seconds, keyed by instance id."""
+        return {
+            instance_id: record["latency_cycles"] / self.clock_hz
+            for instance_id, record in self.frame_records().items()
+        }
+
+    def frame_summary(self) -> Dict[str, float]:
+        """Aggregate frame-latency statistics (p50/p95/p99, deadline misses).
+
+        Percentiles cover every scheduled instance's frame latency; the
+        deadline statistics count instances with an
+        :attr:`instance_deadline_cycles` entry whose last layer finishes after
+        it (instances without a deadline cannot miss).  An empty schedule
+        reports zeros.  All values are finite and strict-JSON serializable.
+        """
+        # Imported lazily: repro.analysis pulls in the sweeps module, which
+        # imports repro.core back — a cycle at module-import time only.
+        from repro.analysis.metrics import deadline_miss_rate, percentile
+
+        records = self.frame_records()
+        if not records:
+            return {
+                "frames": 0.0,
+                "p50_latency_s": 0.0,
+                "p95_latency_s": 0.0,
+                "p99_latency_s": 0.0,
+                "max_latency_s": 0.0,
+                "deadline_miss_rate": 0.0,
+                "missed_frames": 0.0,
+            }
+        latencies = [record["latency_cycles"] / self.clock_hz
+                     for record in records.values()]
+        deadlines = self.instance_deadline_cycles
+        with_deadline = [instance_id for instance_id in records
+                         if instance_id in deadlines]
+        # ``deadline_miss_rate`` is the single definition of a miss (strict
+        # >); the count is derived from it so rate and count cannot drift.
+        # rate * n is k/n * n for integer k, so round() is exact.
+        miss_rate = deadline_miss_rate(
+            [records[instance_id]["finish_cycle"] for instance_id in with_deadline],
+            [deadlines[instance_id] for instance_id in with_deadline])
+        return {
+            "frames": float(len(records)),
+            "p50_latency_s": percentile(latencies, 50.0),
+            "p95_latency_s": percentile(latencies, 95.0),
+            "p99_latency_s": percentile(latencies, 99.0),
+            "max_latency_s": max(latencies),
+            "deadline_miss_rate": miss_rate,
+            "missed_frames": float(round(miss_rate * len(with_deadline))),
+        }
+
     def layer_counts(self) -> Dict[str, int]:
         """Number of layers executed per sub-accelerator."""
         counts = {name: 0 for name in self.sub_accelerator_names}
@@ -320,6 +407,8 @@ class Schedule:
           dependence DAG for instances with an :attr:`instance_predecessors`
           entry, and against the linear chain (layer ``i`` waits on layer
           ``i-1``) as the degenerate case otherwise;
+        * no layer starts before its instance's frame release, for instances
+          with an :attr:`instance_release_cycles` entry (online serving mode);
         * if ``expected_layers`` (instance id -> layer count) is supplied, every
           instance is fully scheduled exactly once.
 
@@ -330,6 +419,8 @@ class Schedule:
         """
         self._validate_no_overlap()
         self._validate_dependences()
+        if self.instance_release_cycles:
+            self._validate_release_times()
         if expected_layers is not None:
             self._validate_completeness(expected_layers)
 
@@ -404,6 +495,18 @@ class Schedule:
                 raise SchedulingError(
                     f"instance {instance_id!r}: layer {current.layer.name!r} starts "
                     f"before its predecessor {previous.layer.name!r} finishes"
+                )
+
+    def _validate_release_times(self) -> None:
+        """Online mode: no layer runs before its instance's frame has arrived."""
+        releases = self.instance_release_cycles
+        for entry in self.entries:
+            release = releases.get(entry.instance_id)
+            if release is not None and entry.start_cycle < release - 1e-6:
+                raise SchedulingError(
+                    f"instance {entry.instance_id!r}: layer {entry.layer.name!r} "
+                    f"starts at {entry.start_cycle:.0f} before the frame's release "
+                    f"at {release:.0f}"
                 )
 
     def _validate_completeness(self, expected_layers: Dict[str, int]) -> None:

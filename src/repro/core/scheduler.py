@@ -30,13 +30,21 @@ chain scheduling.
 Both phases use the MAESTRO-based cost model for per-layer latency/energy, so
 the same scheduler serves monolithic designs (FDA / RDA, one sub-accelerator)
 and multi-sub-accelerator designs (SM-FDA / HDA).
+
+**Online (streaming) mode.**  :meth:`HeraldScheduler.schedule` optionally
+takes per-instance *release times* (``release_cycles``): an instance's layers
+only become schedulable once its frame has arrived.  The release constraint
+rides the existing event machinery — a released-at-``r`` instance simply
+starts its root layers with ``data_ready_cycle = r`` instead of ``0`` — so an
+all-releases-at-zero trace is bit-for-bit identical to the batch path, and the
+heap complexity argument is unchanged (data readiness still only grows).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import SchedulingError
 from repro.maestro.cost import CostModel, LayerCost, metric_value
@@ -56,6 +64,32 @@ ORDERINGS = ("breadth", "depth")
 
 #: Metrics a user may optimise layer assignment for.
 METRICS = ("edp", "latency", "energy")
+
+
+def checked_release_cycles(release_cycles: Optional[Mapping[str, float]],
+                           instances: Sequence[ModelInstance]
+                           ) -> Optional[Dict[str, float]]:
+    """Validate and normalise a release-time map (``None`` when absent/empty).
+
+    Shared by every scheduler that supports the online serving mode, so an
+    unknown instance id or a negative release is rejected identically
+    everywhere instead of one scheduler silently treating a typo'd id as
+    released-at-zero.
+    """
+    if not release_cycles:
+        return None
+    known = {instance.instance_id for instance in instances}
+    unknown = sorted(set(release_cycles) - known)
+    if unknown:
+        raise SchedulingError(
+            f"release_cycles references unknown instances: {unknown!r}")
+    releases = dict(release_cycles)
+    negative = sorted(instance_id for instance_id, release in releases.items()
+                      if release < 0.0)
+    if negative:
+        raise SchedulingError(
+            f"release_cycles must be >= 0; negative for: {negative!r}")
+    return releases
 
 
 class _Assignment:
@@ -238,18 +272,33 @@ class HeraldScheduler:
     # Public API
     # ------------------------------------------------------------------
     def schedule(self, workload: WorkloadSpec,
-                 sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
-        """Produce a validated schedule of ``workload`` on ``sub_accelerators``."""
+                 sub_accelerators: Sequence[SubAcceleratorConfig],
+                 release_cycles: Optional[Mapping[str, float]] = None) -> Schedule:
+        """Produce a validated schedule of ``workload`` on ``sub_accelerators``.
+
+        ``release_cycles`` optionally maps instance ids to the cycle at which
+        the instance (frame) arrives; its layers become schedulable only from
+        that point on (online serving mode).  Instances absent from the map
+        are released at cycle zero, so an empty / all-zero map reproduces the
+        batch schedule bit-for-bit.  The layer-to-sub-accelerator assignment
+        is release-agnostic (it fixes *where* layers run, matching the batch
+        decisions); releases constrain *when* they run.
+        """
         if not sub_accelerators:
             raise SchedulingError("cannot schedule onto an empty sub-accelerator list")
         instances = workload.instances()
+        releases = checked_release_cycles(release_cycles, instances)
         dependences = workload.instance_dependences()
         assignments = self._initial_assignment(workload, sub_accelerators)
         if self.enable_post_processing:
-            schedule = self._list_schedule(assignments, sub_accelerators)
+            schedule = self._list_schedule(assignments, sub_accelerators,
+                                           release_cycles=releases)
         else:
-            schedule = self._replay_initial_order(assignments, sub_accelerators)
+            schedule = self._replay_initial_order(assignments, sub_accelerators,
+                                                  release_cycles=releases)
         schedule.instance_predecessors = dependences
+        if releases:
+            schedule.instance_release_cycles = releases
         expected = {instance.instance_id: instance.num_layers for instance in instances}
         schedule.validate(expected_layers=expected)
         return schedule
@@ -453,7 +502,9 @@ class HeraldScheduler:
     # Step 2: timeline construction
     # ------------------------------------------------------------------
     def _list_schedule(self, assignments: Sequence[_Assignment],
-                       sub_accelerators: Sequence[SubAcceleratorConfig]) -> Schedule:
+                       sub_accelerators: Sequence[SubAcceleratorConfig],
+                       release_cycles: Optional[Mapping[str, float]] = None
+                       ) -> Schedule:
         """Idle-time-eliminating list schedule (the Fig. 9 post-processing).
 
         The layer-to-sub-accelerator assignment is kept, but whenever a
@@ -483,6 +534,13 @@ class HeraldScheduler:
           stale entries are discarded on pop by recomputing the candidate.
           Keys never decrease for a given assignment (availability and data
           readiness only grow), so the freshest push is always authoritative.
+
+        ``release_cycles`` (online serving mode) seeds each layer's
+        ``data_ready_cycle`` with its instance's release instead of ``0`` —
+        the only change the streaming path makes.  Producers can only raise
+        data readiness above the seed, so the never-decreasing-keys invariant
+        (and hence the heap argmin proof) carries over unchanged, and a
+        ``None`` / all-zero map is bit-for-bit the batch behaviour.
         """
         schedule = self._empty_schedule(sub_accelerators)
         #: Consumers of each produced tensor, keyed (instance id, layer index);
@@ -494,9 +552,11 @@ class HeraldScheduler:
             {acc.name: [] for acc in sub_accelerators}
         acc_avail: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
 
+        released_at = release_cycles.get if release_cycles else None
         for assignment in assignments:
             assignment.unmet_producers = len(assignment.predecessors)
-            assignment.data_ready_cycle = 0.0
+            assignment.data_ready_cycle = (
+                released_at(assignment.instance_id, 0.0) if released_at else 0.0)
             for producer in assignment.predecessors:
                 consumers.setdefault((assignment.instance_id, producer),
                                      []).append(assignment)
@@ -598,23 +658,28 @@ class HeraldScheduler:
         return schedule
 
     def _list_schedule_reference(self, assignments: Sequence[_Assignment],
-                                 sub_accelerators: Sequence[SubAcceleratorConfig]
+                                 sub_accelerators: Sequence[SubAcceleratorConfig],
+                                 release_cycles: Optional[Mapping[str, float]] = None
                                  ) -> Schedule:
         """The historical O(n^2) full-rescan list schedule, kept verbatim.
 
         Retained as the executable specification of the Fig. 9 post-processing:
         the equivalence tests and the hot-path benchmark run it against
         :meth:`_list_schedule` to prove the heap implementation is bit-for-bit
-        identical (and to measure the speedup).  Production code never calls
-        it.
+        identical (and to measure the speedup).  ``release_cycles`` seeds the
+        per-layer data readiness exactly as in :meth:`_list_schedule`, so the
+        equivalence contract extends to the online serving mode.  Production
+        code never calls it.
         """
         schedule = self._empty_schedule(sub_accelerators)
         pending: Dict[str, List[_Assignment]] = {acc.name: [] for acc in sub_accelerators}
         consumers: Dict[Tuple[str, int], List[_Assignment]] = {}
+        released_at = release_cycles.get if release_cycles else None
         for assignment in assignments:
             pending[assignment.sub_accelerator].append(assignment)
             assignment.unmet_producers = len(assignment.predecessors)
-            assignment.data_ready_cycle = 0.0
+            assignment.data_ready_cycle = (
+                released_at(assignment.instance_id, 0.0) if released_at else 0.0)
             for producer in assignment.predecessors:
                 consumers.setdefault((assignment.instance_id, producer),
                                      []).append(assignment)
@@ -665,22 +730,29 @@ class HeraldScheduler:
         return schedule
 
     def _replay_initial_order(self, assignments: Sequence[_Assignment],
-                              sub_accelerators: Sequence[SubAcceleratorConfig]
+                              sub_accelerators: Sequence[SubAcceleratorConfig],
+                              release_cycles: Optional[Mapping[str, float]] = None
                               ) -> Schedule:
         """Build the timeline strictly in initial-assignment order (no gap filling).
 
         Start times still honour the true dependence DAG: a layer starts at the
-        later of its sub-accelerator becoming free and its slowest producer
-        finishing (not simply the instance's previously issued layer).
+        later of its sub-accelerator becoming free, its instance's release time
+        (online mode; zero without ``release_cycles``), and its slowest
+        producer finishing (not simply the instance's previously issued layer).
         """
         schedule = self._empty_schedule(sub_accelerators)
         acc_avail: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
         finish_times: Dict[str, Dict[int, float]] = {
             assignment.instance_id: {} for assignment in assignments
         }
+        released_at = release_cycles.get if release_cycles else None
         for assignment in sorted(assignments, key=lambda a: a.order_index):
             done = finish_times[assignment.instance_id]
             start = acc_avail[assignment.sub_accelerator]
+            if released_at:
+                release = released_at(assignment.instance_id, 0.0)
+                if release > start:
+                    start = release
             for producer in assignment.predecessors:
                 producer_finish = done[producer]
                 if producer_finish > start:

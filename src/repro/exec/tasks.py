@@ -38,7 +38,13 @@ class EvaluationTask:
     design:
         The accelerator design to evaluate.
     workload:
-        The workload to schedule on the design.
+        The workload to schedule on the design.  Either a plain
+        :class:`WorkloadSpec` or a streaming
+        :class:`~repro.serve.workload.StreamingWorkload` — both pickle
+        cleanly (the streaming expansion memo is stripped like the spec's
+        derived state), and the evaluator duck-types the streaming shape, so
+        pool workers reproduce online schedules and SLA metrics exactly as
+        the serial backend does.
     category:
         Design-space category tag (``"fda"``, ``"sm-fda"``, ``"rda"``,
         ``"hda"``, ...) carried through to the result assembly.

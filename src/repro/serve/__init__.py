@@ -1,0 +1,47 @@
+"""Streaming serving simulation: frame arrivals, SLA metrics, sustained FPS.
+
+This package puts Herald's real-time story on top of the batch scheduling
+engine (the paper's target is real-time multi-DNN AR/VR serving with
+per-model FPS targets, Table II):
+
+* :mod:`repro.serve.trace` — deterministic periodic frame-arrival traces with
+  optional phase/jitter (:class:`StreamSpec`);
+* :mod:`repro.serve.workload` — :class:`StreamingWorkload`, the per-model
+  stream bundle that expands into an ordinary workload spec plus per-frame
+  release times and deadlines, and :func:`streaming_suite` for the Table II
+  suites at their FPS targets;
+* :mod:`repro.serve.simulator` — :class:`ServingSimulator` (online scheduling
+  plus SLA accounting) and :func:`sustained_fps` (the zero-miss rate search).
+"""
+
+from repro.serve.trace import StreamSpec
+from repro.serve.workload import (
+    DEFAULT_TARGET_FPS,
+    MODEL_TARGET_FPS,
+    StreamingWorkload,
+    streaming_suite,
+)
+from repro.serve.simulator import (
+    DEFAULT_DROP_DEADLINE_FACTOR,
+    ServingReport,
+    ServingResult,
+    ServingSimulator,
+    StreamStats,
+    SustainedFpsResult,
+    sustained_fps,
+)
+
+__all__ = [
+    "StreamSpec",
+    "StreamingWorkload",
+    "streaming_suite",
+    "MODEL_TARGET_FPS",
+    "DEFAULT_TARGET_FPS",
+    "ServingSimulator",
+    "ServingReport",
+    "ServingResult",
+    "StreamStats",
+    "SustainedFpsResult",
+    "sustained_fps",
+    "DEFAULT_DROP_DEADLINE_FACTOR",
+]

@@ -1,0 +1,220 @@
+"""Streaming workloads: Table II suites as frame streams instead of batches.
+
+A :class:`StreamingWorkload` is a set of :class:`~repro.serve.trace.StreamSpec`
+streams, one per model.  It expands into an ordinary
+:class:`~repro.workloads.spec.WorkloadSpec` — frame ``i`` of model ``m``
+becomes model instance ``"m#i"`` — plus per-frame release times and absolute
+deadlines, which is exactly what the release-time-aware scheduler and the
+serving report need.  Because the expansion is a plain workload spec, every
+existing consumer (scheduler, partition search, DSE, execution backends) takes
+a streaming workload transparently; the evaluator recognises the streaming
+shape by duck typing (:meth:`StreamingWorkload.to_workload_spec`).
+
+:data:`MODEL_TARGET_FPS` carries the per-model real-time targets of the
+Table II scenario (tracking-class networks at 60 FPS, dense-prediction
+networks at 30 FPS, recognition backbones at 15 FPS); :func:`streaming_suite`
+turns a named Table II suite into streams using those targets, folding a
+model's batch count into an aggregate ``batches x FPS`` stream whose deadline
+stays the single-stream period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import WorkloadError
+from repro.models.graph import ModelGraph
+from repro.serve.trace import StreamSpec
+from repro.units import seconds_to_cycles
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suites import workload_by_name
+
+#: Per-model real-time frame-rate targets (the Table II "target FPS" column):
+#: hand/pose tracking runs at display rate, segmentation / detection / depth at
+#: camera rate, and classification backbones at a recognition cadence.
+MODEL_TARGET_FPS: Dict[str, float] = {
+    "resnet50": 15.0,
+    "mobilenet_v1": 60.0,
+    "mobilenet_v2": 60.0,
+    "unet": 30.0,
+    "brq_handpose": 60.0,
+    "focal_depthnet": 30.0,
+    "ssd_resnet34": 30.0,
+    "ssd_mobilenet_v1": 30.0,
+    "gnmt": 15.0,
+}
+
+#: Fallback target for models without a :data:`MODEL_TARGET_FPS` entry.
+DEFAULT_TARGET_FPS = 30.0
+
+
+@dataclass
+class StreamingWorkload:
+    """A multi-DNN serving scenario: one frame stream per model.
+
+    Parameters
+    ----------
+    name:
+        Scenario name, e.g. ``"arvr-a-stream"``.
+    streams:
+        One :class:`StreamSpec` per model.  Model names must be unique —
+        frame instance ids are ``"{model_name}#{frame_index}"``, so two
+        streams of one model would collide (fold them into one stream at the
+        summed FPS instead, as :func:`streaming_suite` does for batches).
+    models:
+        Optional pre-built model graphs keyed by model name, forwarded to the
+        expanded :class:`WorkloadSpec` (overrides the zoo for custom models).
+    """
+
+    name: str
+    streams: List[StreamSpec] = field(default_factory=list)
+    models: Dict[str, ModelGraph] = field(default_factory=dict)
+    #: Expansion memo (excluded from pickles like WorkloadSpec's memos, so
+    #: evaluation tasks shipping streaming workloads to pool workers stay
+    #: small; the expansion is cheap to rebuild there).
+    _spec_memo: Optional[WorkloadSpec] = field(default=None, init=False,
+                                               repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise WorkloadError(f"streaming workload {self.name!r} has no streams")
+        names = [stream.model_name for stream in self.streams]
+        if len(set(names)) != len(names):
+            raise WorkloadError(
+                f"streaming workload {self.name!r} has duplicate model streams; "
+                "fold repeated models into one stream at the aggregate FPS"
+            )
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_spec_memo"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def to_workload_spec(self) -> WorkloadSpec:
+        """The scenario's frames as a plain batch workload (one instance per frame).
+
+        Frame ``i`` of stream ``m`` is instance ``"m#i"`` — the id scheme
+        :meth:`WorkloadSpec.instances` produces natively, so release and
+        deadline maps line up with the expanded instances by construction.
+        """
+        if self._spec_memo is None:
+            self._spec_memo = WorkloadSpec(
+                name=self.name,
+                entries=[(stream.model_name, stream.frames)
+                         for stream in self.streams],
+                models=dict(self.models),
+            )
+        return self._spec_memo
+
+    def release_times_s(self) -> Dict[str, float]:
+        """Release time of every frame instance, in seconds, keyed by instance id."""
+        releases: Dict[str, float] = {}
+        for stream in self.streams:
+            for index, release in enumerate(stream.release_times_s()):
+                releases[f"{stream.model_name}#{index}"] = release
+        return releases
+
+    def deadlines_s(self) -> Dict[str, float]:
+        """Absolute per-frame deadline (release + stream deadline), keyed by instance id."""
+        deadlines: Dict[str, float] = {}
+        for stream in self.streams:
+            bound = stream.effective_deadline_s
+            for index, release in enumerate(stream.release_times_s()):
+                deadlines[f"{stream.model_name}#{index}"] = release + bound
+        return deadlines
+
+    def release_cycles(self, clock_hz: float) -> Dict[str, float]:
+        """Per-frame release cycles at ``clock_hz``, keyed by instance id.
+
+        The one place the seconds-to-cycles conversion of the arrival trace
+        lives — the simulator, the evaluator, the golden harness, and the
+        benchmark all consume this (and :meth:`deadline_cycles`), so a change
+        to the conversion cannot silently fork the paths.
+        """
+        return {instance_id: seconds_to_cycles(release, clock_hz)
+                for instance_id, release in self.release_times_s().items()}
+
+    def deadline_cycles(self, clock_hz: float) -> Dict[str, float]:
+        """Absolute per-frame deadline cycles at ``clock_hz``, keyed by instance id."""
+        return {instance_id: seconds_to_cycles(deadline, clock_hz)
+                for instance_id, deadline in self.deadlines_s().items()}
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "StreamingWorkload":
+        """Every stream at ``factor`` times its rate (the sustained-FPS knob)."""
+        return StreamingWorkload(
+            name=name or f"{self.name}-x{factor:g}",
+            streams=[stream.scaled(factor) for stream in self.streams],
+            models=dict(self.models),
+        )
+
+    # ------------------------------------------------------------------
+    # WorkloadSpec-compatible surface (what the DSE / partition search touch
+    # before the evaluator converts to the batch expansion)
+    # ------------------------------------------------------------------
+    def unique_shape_layers(self):
+        """Deduped representative layers, delegated to the expansion."""
+        return self.to_workload_spec().unique_shape_layers()
+
+    def instances(self):
+        """Frame instances, delegated to the expansion."""
+        return self.to_workload_spec().instances()
+
+    @property
+    def total_frames(self) -> int:
+        """Total number of frames across all streams."""
+        return sum(stream.frames for stream in self.streams)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by reports and the CLI."""
+        lines = [f"Streaming workload {self.name}: {len(self.streams)} streams, "
+                 f"{self.total_frames} frames"]
+        for stream in self.streams:
+            lines.append("  - " + stream.describe())
+        return "\n".join(lines)
+
+
+def streaming_suite(suite_name: str, frames: int = 8, fps_scale: float = 1.0,
+                    jitter_s: float = 0.0, seed: int = 0,
+                    stagger: bool = True) -> StreamingWorkload:
+    """A Table II suite as a streaming scenario using the per-model FPS targets.
+
+    Each ``(model, batches)`` entry becomes one stream: ``batches``
+    independent frame sources of the same model are folded into a single
+    aggregate stream at ``batches x target FPS`` (the schedulable load is
+    identical), while the per-frame deadline stays the *single-source* period
+    — folding must not loosen the SLA.  ``stagger`` phases stream ``k`` by
+    ``k / (k + 1)`` of its period so streams do not all release their *first*
+    frames at t=0, which is the steady-state shape of a real serving system;
+    disabling it only zeroes those phases — later frames still arrive
+    periodically, so the trace is never all-zero (build an explicit all-zero
+    release map, as the batch-equivalence tests and the benchmark gate do, to
+    reproduce the batch schedule bit-for-bit).
+    """
+    if frames < 1:
+        raise WorkloadError(f"frames must be >= 1 (got {frames})")
+    if fps_scale <= 0.0:
+        raise WorkloadError(f"fps_scale must be positive (got {fps_scale})")
+    spec = workload_by_name(suite_name)
+    streams: List[StreamSpec] = []
+    for position, (model_name, batches) in enumerate(spec.entries):
+        base_fps = MODEL_TARGET_FPS.get(model_name, DEFAULT_TARGET_FPS) * fps_scale
+        fps = base_fps * batches
+        phase = (position / (position + 1)) / fps if stagger else 0.0
+        streams.append(StreamSpec(
+            model_name=model_name,
+            fps=fps,
+            frames=frames * batches,
+            phase_s=phase,
+            jitter_s=jitter_s,
+            seed=seed,
+            deadline_s=1.0 / base_fps,
+        ))
+    return StreamingWorkload(name=f"{suite_name}-stream", streams=streams,
+                             models=dict(spec.models))

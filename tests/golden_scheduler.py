@@ -41,12 +41,15 @@ from repro.maestro.cost import CostModel
 from repro.maestro.hardware import SubAcceleratorConfig
 from repro.models.graph import ModelGraph
 from repro.models.layer import conv2d, dwconv, fc, pwconv
+from repro.serve.trace import StreamSpec
+from repro.serve.workload import StreamingWorkload
 from repro.units import gbps, mib
 from repro.workloads.spec import WorkloadSpec
 
 GOLDEN_DIR = os.path.join(_HERE, "golden")
 TIMELINES_FILE = os.path.join(GOLDEN_DIR, "scheduler_timelines.json")
 DSE_FILE = os.path.join(GOLDEN_DIR, "dse_rankings.json")
+STREAMING_FILE = os.path.join(GOLDEN_DIR, "streaming_timelines.json")
 
 #: Workloads whose full timelines are stored inline (the rest store a digest).
 INLINE_WORKLOADS = ("chain", "diamond")
@@ -164,8 +167,15 @@ def parse_key(key: str) -> Dict[str, object]:
 
 
 def run_scenario(key: str, workloads: Dict[str, WorkloadSpec],
-                 cost_model: CostModel) -> Dict[str, object]:
-    """Execute one scenario and return its serialized record."""
+                 cost_model: CostModel,
+                 zero_release: bool = False) -> Dict[str, object]:
+    """Execute one scenario and return its serialized record.
+
+    ``zero_release`` runs the scenario through the *online* scheduling path
+    with an explicit all-zero release trace instead of the batch path; the
+    contract pinned by the streaming test suite is that the resulting record
+    is identical (an idle trace is bit-for-bit the batch schedule).
+    """
     config = parse_key(key)
     scheduler = HeraldScheduler(
         cost_model,
@@ -175,8 +185,16 @@ def run_scenario(key: str, workloads: Dict[str, WorkloadSpec],
         memory_limit_bytes=config["memory_limit_bytes"],
         enable_post_processing=config["enable_post_processing"],
     )
-    schedule = scheduler.schedule(workloads[config["workload"]],
-                                  build_sub_accelerators())
+    workload = workloads[config["workload"]]
+    release_cycles = None
+    if zero_release:
+        release_cycles = {instance.instance_id: 0.0
+                          for instance in workload.instances()}
+    schedule = scheduler.schedule(workload, build_sub_accelerators(),
+                                  release_cycles=release_cycles)
+    # The release map participates in validation but must not leak into the
+    # serialized record (the batch golden has no such attribute).
+    schedule.instance_release_cycles = {}
     entries = [
         [entry.instance_id, entry.layer_index, entry.layer.name,
          entry.sub_accelerator, repr(entry.start_cycle), repr(entry.finish_cycle),
@@ -202,15 +220,128 @@ def timeline_digest(entries: List[List[object]]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def generate_timelines() -> Dict[str, Dict[str, object]]:
-    """Run every scenario with one shared cost model."""
+def generate_timelines(zero_release: bool = False) -> Dict[str, Dict[str, object]]:
+    """Run every scenario with one shared cost model.
+
+    With ``zero_release`` every scenario goes through the online scheduling
+    path against an all-zero arrival trace; the output must equal the batch
+    golden files exactly.
+    """
     workloads = build_workloads()
     cost_model = CostModel()
     results: Dict[str, Dict[str, object]] = {}
     for workload_name in workloads:
         for key in scenario_keys(workload_name):
-            results[key] = run_scenario(key, workloads, cost_model)
+            results[key] = run_scenario(key, workloads, cost_model,
+                                        zero_release=zero_release)
     return results
+
+
+# ---------------------------------------------------------------------------
+# Streaming (online serving) golden scenarios
+# ---------------------------------------------------------------------------
+#: Workload topologies exercised by the streaming matrix; full timelines are
+#: stored inline for the small ones (see INLINE_WORKLOADS).
+STREAMING_WORKLOADS = ("chain", "diamond", "unet")
+
+#: Arrival traces per workload.  Frame rates are sized to the measured
+#: per-frame latency of each topology on the golden sub-accelerators (chain
+#: ~0.20 ms, diamond ~0.14 ms, unet ~2.5 s per frame) so releases genuinely
+#: interleave with execution: "uniform" is strictly periodic from t=0,
+#: "jittered" staggers the phase by ~30% of the period and perturbs each
+#: arrival by up to 20% of the period (seeded, deterministic).
+STREAMING_TRACES = ("uniform", "jittered")
+
+_STREAM_RATES: Dict[str, Tuple[str, float, int]] = {
+    # workload -> (model name in the graph, fps, frames)
+    "chain": ("chainnet", 4000.0, 4),
+    "diamond": ("diamond", 6000.0, 3),
+    "unet": ("unet", 0.4, 2),
+}
+
+
+def build_streaming_workload(workload_name: str, trace_name: str
+                             ) -> StreamingWorkload:
+    """The streaming variant of one golden topology under one arrival trace."""
+    model_name, fps, frames = _STREAM_RATES[workload_name]
+    period = 1.0 / fps
+    if trace_name == "uniform":
+        stream = StreamSpec(model_name=model_name, fps=fps, frames=frames)
+    elif trace_name == "jittered":
+        stream = StreamSpec(model_name=model_name, fps=fps, frames=frames,
+                            phase_s=0.3 * period, jitter_s=0.2 * period,
+                            seed=3)
+    else:
+        raise ValueError(f"unknown trace {trace_name!r}")
+    batch = build_workloads()[workload_name]
+    models = {name: batch.model_graph(name) for name, _ in batch.entries}
+    return StreamingWorkload(name=f"{workload_name}-{trace_name}",
+                             streams=[stream], models=models)
+
+
+def streaming_scenario_keys() -> List[str]:
+    """All streaming scenario keys, in deterministic order."""
+    keys = []
+    for workload_name in STREAMING_WORKLOADS:
+        for trace_name in STREAMING_TRACES:
+            for metric in METRICS:
+                for lb in LOAD_BALANCE_FACTORS:
+                    keys.append(f"stream|{workload_name}|{trace_name}|{metric}"
+                                f"|lb={lb}")
+    return keys
+
+
+def parse_streaming_key(key: str) -> Dict[str, object]:
+    prefix, workload_name, trace_name, metric, lb = key.split("|")
+    assert prefix == "stream"
+    return {
+        "workload": workload_name,
+        "trace": trace_name,
+        "metric": metric,
+        "load_balance_factor": None if lb == "lb=None" else float(lb[3:]),
+    }
+
+
+def run_streaming_scenario(key: str, cost_model: CostModel) -> Dict[str, object]:
+    """Execute one streaming scenario and return its serialized record."""
+    config = parse_streaming_key(key)
+    streaming = build_streaming_workload(config["workload"], config["trace"])
+    scheduler = HeraldScheduler(
+        cost_model,
+        metric=config["metric"],
+        load_balance_factor=config["load_balance_factor"],
+    )
+    accs = build_sub_accelerators()
+    clock = accs[0].clock_hz
+    release_cycles = streaming.release_cycles(clock)
+    schedule = scheduler.schedule(streaming.to_workload_spec(), accs,
+                                  release_cycles=release_cycles)
+    schedule.instance_deadline_cycles = streaming.deadline_cycles(clock)
+    entries = [
+        [entry.instance_id, entry.layer_index, entry.layer.name,
+         entry.sub_accelerator, repr(entry.start_cycle), repr(entry.finish_cycle),
+         repr(entry.cost.latency_cycles), repr(entry.cost.energy_pj)]
+        for entry in schedule.entries
+    ]
+    record: Dict[str, object] = {
+        "digest": timeline_digest(entries),
+        "num_entries": len(entries),
+        "makespan_cycles": repr(schedule.makespan_cycles),
+        "releases": {instance_id: repr(release)
+                     for instance_id, release in sorted(release_cycles.items())},
+        "frame_summary": {name: repr(value) for name, value
+                          in sorted(schedule.frame_summary().items())},
+    }
+    if config["workload"] in INLINE_WORKLOADS:
+        record["entries"] = entries
+    return record
+
+
+def generate_streaming_timelines() -> Dict[str, Dict[str, object]]:
+    """Run every streaming scenario with one shared cost model."""
+    cost_model = CostModel()
+    return {key: run_streaming_scenario(key, cost_model)
+            for key in streaming_scenario_keys()}
 
 
 # ---------------------------------------------------------------------------
@@ -270,11 +401,43 @@ def write_golden() -> None:
     with open(DSE_FILE, "w") as handle:
         json.dump(run_dse(), handle, indent=1)
         handle.write("\n")
+    with open(STREAMING_FILE, "w") as handle:
+        json.dump(generate_streaming_timelines(), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def write_streaming_golden() -> None:
+    """(Re)generate only the streaming file — the batch files pin the seed
+    implementation and must never be regenerated from post-overhaul code."""
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    with open(STREAMING_FILE, "w") as handle:
+        json.dump(generate_streaming_timelines(), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
 
 
 if __name__ == "__main__":
-    if "--write" not in sys.argv:
-        print("usage: python tests/golden_scheduler.py --write", file=sys.stderr)
+    if "--write-streaming" in sys.argv:
+        write_streaming_golden()
+        print(f"wrote {STREAMING_FILE}")
+    elif "--write" in sys.argv:
+        # The batch files pin the *seed* implementation: regenerating them
+        # from current code would make the 192-scenario equivalence gate pass
+        # trivially.  Refuse unless they are absent (fresh bootstrap) or the
+        # caller explicitly forces it.
+        existing = [path for path in (TIMELINES_FILE, DSE_FILE)
+                    if os.path.exists(path)]
+        if existing and "--force" not in sys.argv:
+            print("refusing to overwrite the seed-pinned batch golden files "
+                  f"({', '.join(os.path.basename(p) for p in existing)}); "
+                  "use --write-streaming for the streaming matrix, or "
+                  "--write --force if you really mean to re-pin the batch "
+                  "corpus to current behaviour", file=sys.stderr)
+            raise SystemExit(2)
+        write_golden()
+        print(f"wrote {TIMELINES_FILE}, {DSE_FILE} and {STREAMING_FILE}")
+    else:
+        print("usage: python tests/golden_scheduler.py "
+              "--write [--force] | --write-streaming", file=sys.stderr)
         raise SystemExit(2)
-    write_golden()
-    print(f"wrote {TIMELINES_FILE} and {DSE_FILE}")

@@ -4,11 +4,13 @@ import pytest
 
 from repro.accel.classes import accelerator_class
 from repro.analysis.metrics import (
+    deadline_miss_rate,
     edp,
     gain_table,
     geometric_mean,
     percent_improvement,
     percent_overhead,
+    percentile,
     summarise_improvements,
 )
 from repro.analysis.pareto import dominates, is_pareto_optimal, pareto_front
@@ -65,6 +67,60 @@ class TestMetrics:
     def test_summarise_improvements_empty(self):
         with pytest.raises(ValueError):
             summarise_improvements([])
+
+
+class TestPercentile:
+    def test_median_of_odd_sequence(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 50.0) == pytest.approx(3.0)
+
+    def test_interpolates_between_order_statistics(self):
+        # rank = (4 - 1) * 0.5 = 1.5 -> halfway between 2.0 and 3.0.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_unsorted_input_is_sorted_internally(self):
+        shuffled = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert percentile(shuffled, 50.0) == pytest.approx(3.0)
+        assert percentile(shuffled, 0.0) == pytest.approx(1.0)
+        assert percentile(shuffled, 100.0) == pytest.approx(5.0)
+
+    def test_single_sample_returned_for_every_q(self):
+        for q in (0.0, 37.5, 50.0, 99.0, 100.0):
+            assert percentile([42.0], q) == pytest.approx(42.0)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+    def test_p99_tracks_the_tail(self):
+        values = [1.0] * 99 + [100.0]
+        assert percentile(values, 50.0) == pytest.approx(1.0)
+        assert percentile(values, 99.0) > 1.0
+
+
+class TestDeadlineMissRate:
+    def test_scalar_deadline(self):
+        assert deadline_miss_rate([1.0, 2.0, 3.0, 4.0], 2.5) == pytest.approx(0.5)
+
+    def test_per_sample_deadlines(self):
+        rate = deadline_miss_rate([1.0, 2.0, 3.0], [2.0, 1.5, 10.0])
+        assert rate == pytest.approx(1.0 / 3.0)
+
+    def test_exactly_on_deadline_is_not_a_miss(self):
+        assert deadline_miss_rate([2.0], 2.0) == 0.0
+
+    def test_empty_input_has_no_misses(self):
+        assert deadline_miss_rate([], 1.0) == 0.0
+        assert deadline_miss_rate([], []) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            deadline_miss_rate([1.0, 2.0], [1.0])
 
 
 class TestPareto:

@@ -62,9 +62,30 @@ class TestDse:
         parallel_best = [line for line in parallel_output.splitlines() if "best" in line]
         assert serial_best == parallel_best
 
-    def test_dse_rejects_non_positive_jobs(self, capsys):
-        assert main(["dse", "--jobs", "0"]) == 2
-        assert "--jobs must be >= 1" in capsys.readouterr().err
+class TestServe:
+    def test_serve_reports_sla_metrics(self, capsys):
+        assert main(["serve", "--workload", "arvr-a", "--chip", "edge",
+                     "--design", "fda-nvdla", "--frames", "1",
+                     "--skip-sustained"]) == 0
+        output = capsys.readouterr().out
+        for model in ("resnet50", "unet", "mobilenet_v2"):
+            assert model in output
+        for column in ("p50", "p95", "p99", "miss", "backlog", "drop"):
+            assert column in output
+
+    def test_serve_reports_sustained_fps(self, capsys):
+        assert main(["serve", "--workload", "arvr-a", "--chip", "cloud",
+                     "--design", "fda-nvdla", "--frames", "1"]) == 0
+        assert "sustained FPS" in capsys.readouterr().out
+
+    def test_serve_is_deterministic_under_jitter(self, capsys):
+        args = ["serve", "--workload", "arvr-a", "--chip", "edge",
+                "--design", "fda-nvdla", "--frames", "1",
+                "--jitter-ms", "2.5", "--seed", "11", "--skip-sustained"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
 
 
 class TestParser:
@@ -75,3 +96,29 @@ class TestParser:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["schedule", "--workload", "bogus"])
+
+    @pytest.mark.parametrize("argv, message", [
+        (["dse", "--jobs", "0"], "--jobs: must be an integer >= 1 (got 0)"),
+        (["dse", "--jobs", "-2"], "--jobs: must be an integer >= 1 (got -2)"),
+        (["dse", "--pe-steps", "-4"],
+         "--pe-steps: must be an integer >= 2 (got -4)"),
+        (["dse", "--pe-steps", "1"],
+         "--pe-steps: must be an integer >= 2 (got 1)"),
+        (["dse", "--bw-steps", "0"],
+         "--bw-steps: must be an integer >= 1 (got 0)"),
+        (["dse", "--bw-steps", "-1"],
+         "--bw-steps: must be an integer >= 1 (got -1)"),
+        (["serve", "--frames", "0"],
+         "--frames: must be an integer >= 1 (got 0)"),
+        (["serve", "--fps-scale", "0"], "--fps-scale: must be > 0.0 (got 0.0)"),
+        (["serve", "--jitter-ms", "-1"],
+         "--jitter-ms: must be >= 0.0 (got -1.0)"),
+        (["dse", "--jobs", "two"], "--jobs: expected an integer, got 'two'"),
+    ])
+    def test_bad_numeric_arguments_rejected_in_parser(self, argv, message,
+                                                      capsys):
+        """Invalid counts/steps fail fast at parse time with a clear error."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert message in capsys.readouterr().err
