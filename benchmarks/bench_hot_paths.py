@@ -18,6 +18,11 @@ performance trajectory is comparable across PRs:
   Fig. 11 sweep) — full legacy emulation (key scheme + per-layer ranking +
   quadratic list schedule) vs the current implementation, with the DSE
   rankings asserted identical.
+* **Serving and fleet overhead** — online-mode scheduling cost over the batch
+  path, router dispatch cost, and multi-chip fleet simulation at 1 / 2 / 4
+  chips; both sections carry the correctness gates ``--check`` enforces
+  (all-zero release trace ≡ batch timeline, single-chip passthrough fleet ≡
+  bare serving simulator).
 
 Usage::
 
@@ -65,7 +70,15 @@ from repro.maestro.hardware import SubAcceleratorConfig
 from repro.maestro.reuse import analyse_reuse, clear_reuse_cache
 from repro.models.graph import ModelGraph
 from repro.models.layer import conv2d, pwconv
-from repro.serve import ServingSimulator, streaming_suite
+from repro.accel.design import AcceleratorDesign, AcceleratorKind
+from repro.serve import (
+    Fleet,
+    FleetSimulator,
+    FrameCostEstimator,
+    Router,
+    ServingSimulator,
+    streaming_suite,
+)
 from repro.units import BYTES_PER_ELEMENT, gbps, mib
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suites import arvr_a, arvr_b, mlperf
@@ -648,6 +661,75 @@ def bench_serving(quick: bool) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Section 6: fleet routing and multi-chip serving
+# ---------------------------------------------------------------------------
+
+def bench_fleet(quick: bool) -> Dict[str, object]:
+    """Fleet-layer overhead and scaling, plus its correctness gate.
+
+    The fleet layer adds two things on top of per-chip serving: the router's
+    dispatch pass (policy decisions off cost-model estimates) and the report
+    aggregation.  This section times the dispatch pass in isolation, measures
+    end-to-end fleet simulation at 1 / 2 / 4 chips under the SLA-aware
+    policy, and — as the gate ``--check`` enforces — asserts that a one-chip
+    passthrough fleet reproduces the single-chip ``ServingSimulator``
+    timeline bit-for-bit.
+    """
+    streaming = streaming_suite("arvr-a", frames=1 if quick else 2)
+    chip = ACCELERATOR_CLASSES["edge"]
+    design = AcceleratorDesign(name="edge-duo", kind=AcceleratorKind.HDA,
+                               chip=chip,
+                               sub_accelerators=_two_way_split(chip))
+    model = CostModel()
+    scheduler = HeraldScheduler(model)
+    repeats = 3 if quick else 10
+
+    timeline = lambda s: [(e.instance_id, e.layer_index, e.sub_accelerator,
+                           e.start_cycle, e.finish_cycle) for e in s.entries]
+    bare = ServingSimulator(scheduler).simulate(streaming,
+                                                design.sub_accelerators)
+    simulator = FleetSimulator(cost_model=model, scheduler=scheduler)
+    solo = simulator.simulate(streaming, Fleet.homogeneous(design, 1),
+                              policy="passthrough")
+    single_chip_identical = (timeline(solo.chip_results[0].schedule)
+                             == timeline(bare.schedule))
+
+    router = Router("earliest-completion",
+                    estimator=FrameCostEstimator(model))
+    chips4 = Fleet.homogeneous(design, 4).chips
+    dispatch_s, _ = _timed(lambda: [router.dispatch(streaming, chips4)
+                                    for _ in range(repeats)])
+
+    sizes = [1, 2, 4]
+    simulate_s: List[float] = []
+    p99_ms: List[float] = []
+    miss_rates: List[float] = []
+    for size in sizes:
+        fleet = Fleet.homogeneous(design, size)
+        simulator.simulate(streaming, fleet, policy="earliest-completion")
+        elapsed, result = _timed(lambda: [
+            simulator.simulate(streaming, fleet,
+                               policy="earliest-completion")
+            for _ in range(repeats)])
+        report = result[-1].report
+        simulate_s.append(elapsed / repeats)
+        p99_ms.append(report.p99_latency_s * 1e3)
+        miss_rates.append(report.deadline_miss_rate)
+
+    return {
+        "workload": streaming.name,
+        "frames": streaming.total_frames,
+        "repeats": repeats,
+        "sizes": sizes,
+        "dispatch_s": dispatch_s / repeats,
+        "simulate_s": simulate_s,
+        "p99_latency_ms": p99_ms,
+        "deadline_miss_rates": miss_rates,
+        "single_chip_identical": single_chip_identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -662,7 +744,8 @@ def run_all(quick: bool) -> Dict[str, object]:
                           ("list_schedule", bench_list_schedule),
                           ("warm_scheduling", bench_warm_scheduling),
                           ("explore", bench_explore),
-                          ("serving", bench_serving)):
+                          ("serving", bench_serving),
+                          ("fleet", bench_fleet)):
         print(f"[bench_hot_paths] running {name} ...", flush=True)
         results[name] = section(quick)
         print(f"[bench_hot_paths]   {json.dumps(results[name])}")
@@ -693,6 +776,9 @@ def check_against_baseline(results: Dict[str, object],
     if not results["serving"]["zero_release_identical"]:
         failures.append("online scheduling with an all-zero release trace "
                         "diverged from the batch schedule")
+    if not results["fleet"]["single_chip_identical"]:
+        failures.append("the single-chip passthrough fleet diverged from the "
+                        "bare serving simulator")
     return failures
 
 

@@ -3,6 +3,7 @@
 from repro.analysis.metrics import (
     deadline_miss_rate,
     edp,
+    imbalance,
     percent_improvement,
     percentile,
     geometric_mean,
@@ -18,6 +19,7 @@ from repro.analysis.sweeps import (
 __all__ = [
     "deadline_miss_rate",
     "edp",
+    "imbalance",
     "percent_improvement",
     "percentile",
     "geometric_mean",

@@ -109,6 +109,33 @@ def deadline_miss_rate(latencies: Iterable[float],
     return missed / len(observed)
 
 
+def imbalance(values: Iterable[float]) -> float:
+    """Largest value divided by the smallest (a load-unbalancing factor).
+
+    The single definition of the max/min imbalance used by both
+    :meth:`~repro.core.schedule.Schedule.load_imbalance` (per-sub-accelerator
+    busy cycles within one chip) and the fleet report (per-chip busy seconds
+    across a fleet).  Values must be non-negative; a zero minimum with a
+    positive maximum is infinitely imbalanced (``float("inf")``), and an
+    all-zero input is perfectly balanced (``1.0``).
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or contains a negative value.
+    """
+    loads: List[float] = list(values)
+    if not loads:
+        raise ValueError("cannot take the imbalance of an empty sequence")
+    if any(load < 0.0 for load in loads):
+        raise ValueError("imbalance requires non-negative values")
+    smallest = min(loads)
+    largest = max(loads)
+    if smallest <= 0.0:
+        return float("inf") if largest > 0 else 1.0
+    return largest / smallest
+
+
 def gain_table(baselines: Mapping[str, Mapping[str, float]],
                candidate: Mapping[str, float],
                metrics: Sequence[str] = ("latency_s", "energy_mj", "edp_js")

@@ -1,6 +1,7 @@
 """Command-line interface for the Herald reproduction.
 
-Four sub-commands mirror how the paper uses Herald:
+Five sub-commands mirror how the paper uses Herald (plus its fleet-scale
+extension):
 
 ``herald describe``
     Print the workload and accelerator-class inventories.
@@ -14,6 +15,11 @@ Four sub-commands mirror how the paper uses Herald:
     Simulate streaming frame arrivals (per-model Table II FPS targets) on one
     design and print per-model latency percentiles, deadline-miss rates, and
     the sustained-FPS operating point.
+``herald fleet``
+    Simulate the same streaming scenario on a fleet of N chips behind a
+    routing policy (round-robin / least-outstanding / earliest-completion /
+    sticky) and print per-chip utilisation plus fleet-wide tail latency;
+    optionally search the minimum fleet size meeting the SLA.
 
 Numeric arguments are validated in the parser (``type=`` callables raising
 ``ArgumentTypeError``), so a bad ``--jobs 0`` or negative ``--pe-steps`` fails
@@ -33,7 +39,15 @@ from repro.core.partitioner import PartitionSearch
 from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
 from repro.exec import PersistentCostCache, ProcessPoolBackend, SerialBackend
 from repro.maestro import CostModel
-from repro.serve import ServingSimulator, streaming_suite, sustained_fps
+from repro.serve import (
+    DISPATCH_POLICY_NAMES,
+    Fleet,
+    FleetSimulator,
+    ServingSimulator,
+    min_chips_for_sla,
+    streaming_suite,
+    sustained_fps,
+)
 from repro.workloads import workload_by_name
 from repro.workloads.suites import WORKLOAD_SUITES
 
@@ -122,9 +136,54 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0, help="arrival-jitter seed")
     serve.add_argument("--skip-sustained", action="store_true",
                        help="skip the sustained-FPS binary search")
+    serve.add_argument("--sustained-lo", type=_float_at_least(0.0, exclusive=True),
+                       default=1.0 / 256.0,
+                       help="lower bracket of the sustained-FPS rate search")
+    serve.add_argument("--sustained-hi", type=_float_at_least(0.0, exclusive=True),
+                       default=8.0,
+                       help="upper bracket of the sustained-FPS rate search")
+    serve.add_argument("--sustained-probes", type=_int_at_least(1), default=10,
+                       help="bisection probe budget of the sustained-FPS search")
+    serve.add_argument("--sustained-tolerance", type=_float_at_least(0.0),
+                       default=0.0,
+                       help="stop the sustained-FPS bisection once the rate "
+                            "bracket is at most this wide (0 = exhaust probes)")
     serve.add_argument("--optimize-sla", action="store_true",
                        help="additionally search the maelstrom PE/BW partition "
                             "under the SLA objective (zero misses, min p99)")
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate streaming arrivals on a multi-chip fleet")
+    fleet.add_argument("--workload", default="arvr-a",
+                       choices=sorted(WORKLOAD_SUITES))
+    fleet.add_argument("--chip", default="edge",
+                       choices=sorted(ACCELERATOR_CLASSES))
+    fleet.add_argument("--design", default="maelstrom", choices=DESIGN_CHOICES)
+    fleet.add_argument("--metric", default="edp",
+                       choices=["edp", "latency", "energy"],
+                       help="layer-assignment objective of each chip's "
+                            "online scheduler")
+    fleet.add_argument("--chips", type=_int_at_least(1), default=2,
+                       help="number of identical chips in the fleet")
+    fleet.add_argument("--policy", default="earliest-completion",
+                       choices=sorted(("passthrough",) + DISPATCH_POLICY_NAMES),
+                       help="frame dispatch policy of the fleet router")
+    fleet.add_argument("--frames", type=_int_at_least(1), default=4,
+                       help="frames simulated per stream source")
+    fleet.add_argument("--fps-scale", type=_float_at_least(0.0, exclusive=True),
+                       default=1.0,
+                       help="multiplier on the per-model Table II FPS targets")
+    fleet.add_argument("--jitter-ms", type=_float_at_least(0.0), default=0.0,
+                       help="uniform arrival jitter half-width in milliseconds")
+    fleet.add_argument("--seed", type=int, default=0, help="arrival-jitter seed")
+    fleet.add_argument("--jobs", type=_int_at_least(1), default=1,
+                       help="worker processes simulating chips in parallel "
+                            "(1 = in-process)")
+    fleet.add_argument("--min-chips", action="store_true",
+                       help="additionally bisect the smallest fleet size "
+                            "serving with zero deadline misses")
+    fleet.add_argument("--max-chips", type=_int_at_least(1), default=8,
+                       help="upper bracket of the --min-chips bisection")
     return parser
 
 
@@ -197,6 +256,12 @@ def _command_dse(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    # Cross-argument validation up front: the bracket error must not cost the
+    # user a full simulation first.
+    if not args.skip_sustained and not args.sustained_lo < args.sustained_hi:
+        print(f"error: --sustained-lo ({args.sustained_lo}) must be below "
+              f"--sustained-hi ({args.sustained_hi})", file=sys.stderr)
+        return 2
     batch_workload = workload_by_name(args.workload)
     chip = accelerator_class(args.chip)
     cost_model = CostModel()
@@ -214,7 +279,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(result.report.describe())
 
     if not args.skip_sustained:
-        sustained = sustained_fps(simulator, streaming, design.sub_accelerators)
+        sustained = sustained_fps(simulator, streaming, design.sub_accelerators,
+                                  lo=args.sustained_lo, hi=args.sustained_hi,
+                                  iterations=args.sustained_probes,
+                                  tolerance=args.sustained_tolerance)
         print(sustained.describe())
 
     if args.optimize_sla:
@@ -233,6 +301,39 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace) -> int:
+    batch_workload = workload_by_name(args.workload)
+    chip = accelerator_class(args.chip)
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model, metric=args.metric)
+    design = _named_design(args.design, batch_workload, chip, cost_model,
+                           scheduler)
+    fleet = Fleet.homogeneous(design, args.chips)
+
+    streaming = streaming_suite(args.workload, frames=args.frames,
+                                fps_scale=args.fps_scale,
+                                jitter_s=args.jitter_ms / 1e3, seed=args.seed)
+    if args.jobs > 1:
+        backend = ProcessPoolBackend(jobs=args.jobs, cost_model=cost_model,
+                                     scheduler=scheduler)
+    else:
+        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler)
+    simulator = FleetSimulator(backend=backend)
+    result = simulator.simulate(streaming, fleet, policy=args.policy)
+
+    print(fleet.describe())
+    print(streaming.describe())
+    print(result.report.describe())
+    print(f"execution backend: {backend.describe()}")
+
+    if args.min_chips:
+        search = min_chips_for_sla(simulator, streaming, design,
+                                   policy=args.policy,
+                                   max_chips=args.max_chips)
+        print(search.describe())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     args = _build_parser().parse_args(argv)
@@ -244,6 +345,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_dse(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "fleet":
+        return _command_fleet(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

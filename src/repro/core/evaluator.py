@@ -15,6 +15,13 @@ The resulting schedule carries the frame accounting, so SLA-aware consumers
 deadline misses straight off the :class:`EvaluationResult`.  The recognition
 is duck-typed rather than an ``isinstance`` against :mod:`repro.serve` to
 keep the core free of an import cycle (serve builds on core).
+
+The fleet layer leans on the same entry point: each chip of a
+:class:`~repro.serve.fleet.Fleet` is one ``evaluate_design`` call on its
+per-chip streaming workload (shipped as an ordinary
+:class:`~repro.exec.tasks.EvaluationTask`, so chips simulate in parallel
+through any execution backend), which is what makes a single-chip passthrough
+fleet bit-for-bit the single-chip serving simulator.
 """
 
 from __future__ import annotations

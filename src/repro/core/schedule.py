@@ -290,14 +290,15 @@ class Schedule:
         """Largest per-sub-accelerator busy time divided by the smallest.
 
         This is the load-unbalancing factor Herald's load-balancing feedback
-        bounds (Sec. IV-D).
+        bounds (Sec. IV-D).  Delegates to
+        :func:`repro.analysis.metrics.imbalance`, the shared definition the
+        fleet report also aggregates per-chip busy times with.
         """
-        busy = [self.busy_cycles(name) for name in self.sub_accelerator_names]
-        smallest = min(busy)
-        largest = max(busy)
-        if smallest <= 0.0:
-            return float("inf") if largest > 0 else 1.0
-        return largest / smallest
+        # Imported lazily for the same reason as in :meth:`frame_summary`.
+        from repro.analysis.metrics import imbalance
+
+        return imbalance(self.busy_cycles(name)
+                         for name in self.sub_accelerator_names)
 
     def load_imbalance_finite(self) -> float:
         """:meth:`load_imbalance`, with infinity mapped to the finite sentinel.

@@ -34,6 +34,12 @@ from repro.exec.tasks import EvaluationTask, run_evaluation_task
 class ExecutionBackend(Protocol):
     """Protocol every execution backend implements."""
 
+    #: The backend's shared cost model.  Part of the contract because
+    #: consumers co-locate derived estimation with execution — e.g. the fleet
+    #: router warms its dispatch estimates on the same memo the backend's
+    #: workers are shipped — so a backend must expose which model that is.
+    cost_model: CostModel
+
     def run(self, tasks: Sequence[EvaluationTask]) -> List[EvaluationResult]:
         """Execute ``tasks`` and return results in submission order."""
         ...

@@ -11,10 +11,17 @@ per-model FPS targets, Table II):
   release times and deadlines, and :func:`streaming_suite` for the Table II
   suites at their FPS targets;
 * :mod:`repro.serve.simulator` — :class:`ServingSimulator` (online scheduling
-  plus SLA accounting) and :func:`sustained_fps` (the zero-miss rate search).
+  plus SLA accounting) and :func:`sustained_fps` (the zero-miss rate search);
+* :mod:`repro.serve.router` — fleet-level frame dispatch: a :class:`Router`
+  with pluggable policies (round-robin, least-outstanding,
+  SLA-aware earliest-completion, sticky per-stream affinity);
+* :mod:`repro.serve.fleet` — :class:`Fleet` / :class:`FleetSimulator` /
+  :class:`FleetReport` (N chips behind the router, per-chip reports pooled
+  into fleet-wide percentiles) and :func:`min_chips_for_sla` (the fleet-size
+  analogue of the sustained-FPS search).
 """
 
-from repro.serve.trace import StreamSpec
+from repro.serve.trace import FrameTrace, StreamSpec
 from repro.serve.workload import (
     DEFAULT_TARGET_FPS,
     MODEL_TARGET_FPS,
@@ -28,11 +35,32 @@ from repro.serve.simulator import (
     ServingSimulator,
     StreamStats,
     SustainedFpsResult,
+    build_serving_report,
     sustained_fps,
+)
+from repro.serve.router import (
+    DISPATCH_POLICY_NAMES,
+    ROUTER_POLICIES,
+    DispatchPlan,
+    DispatchPolicy,
+    FrameCostEstimator,
+    Router,
+    policy_by_name,
+)
+from repro.serve.fleet import (
+    ChipServingResult,
+    ChipStats,
+    Fleet,
+    FleetReport,
+    FleetResult,
+    FleetSimulator,
+    MinChipsResult,
+    min_chips_for_sla,
 )
 
 __all__ = [
     "StreamSpec",
+    "FrameTrace",
     "StreamingWorkload",
     "streaming_suite",
     "MODEL_TARGET_FPS",
@@ -43,5 +71,21 @@ __all__ = [
     "StreamStats",
     "SustainedFpsResult",
     "sustained_fps",
+    "build_serving_report",
     "DEFAULT_DROP_DEADLINE_FACTOR",
+    "Router",
+    "DispatchPolicy",
+    "DispatchPlan",
+    "FrameCostEstimator",
+    "policy_by_name",
+    "ROUTER_POLICIES",
+    "DISPATCH_POLICY_NAMES",
+    "Fleet",
+    "FleetSimulator",
+    "FleetReport",
+    "FleetResult",
+    "ChipStats",
+    "ChipServingResult",
+    "MinChipsResult",
+    "min_chips_for_sla",
 ]

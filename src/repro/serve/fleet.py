@@ -1,0 +1,536 @@
+"""Fleet-scale serving: N chips behind a router, aggregated SLA reporting.
+
+The paper optimises one HDA chip; a deployment serving millions of users runs
+*many* chips behind a dispatcher.  A :class:`Fleet` is an ordered set of
+(possibly heterogeneous) :class:`~repro.accel.design.AcceleratorDesign`
+chips; :class:`FleetSimulator` routes a streaming workload over them with a
+:class:`~repro.serve.router.Router` policy, simulates every chip with the
+same online scheduler the single-chip
+:class:`~repro.serve.simulator.ServingSimulator` uses, and folds the per-chip
+:class:`~repro.serve.simulator.ServingReport`\\ s into one
+:class:`FleetReport` — fleet-wide latency percentiles over the pooled
+per-frame latencies, aggregate miss rate, and per-chip utilisation /
+imbalance.
+
+Two structural guarantees keep the fleet layer honest:
+
+* **Single-chip identity** — a one-chip fleet under the ``passthrough``
+  policy produces bit-for-bit the schedule and report of the bare
+  single-chip simulator (pinned against the streaming golden corpus);
+* **Backend parity** — per-chip simulations run as ordinary
+  :class:`~repro.exec.tasks.EvaluationTask`\\ s through an execution
+  backend, so a 4-worker process pool reproduces the serial results exactly
+  (evaluations are pure functions of ``(design, workload)``).
+
+:func:`min_chips_for_sla` is the fleet analogue of
+:func:`~repro.serve.simulator.sustained_fps`: instead of asking how fast one
+chip can go, it bisects how many chips the SLA needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.accel.design import AcceleratorDesign
+from repro.analysis.metrics import imbalance, percentile
+from repro.core.schedule import LOAD_IMBALANCE_UNUSED_SENTINEL, Schedule
+from repro.core.scheduler import HeraldScheduler
+from repro.exceptions import WorkloadError
+from repro.exec.backends import ExecutionBackend, SerialBackend
+from repro.exec.tasks import EvaluationTask
+from repro.maestro.cost import CostModel
+from repro.serve.router import (
+    DispatchPlan,
+    DispatchPolicy,
+    FrameCostEstimator,
+    Router,
+)
+from repro.serve.simulator import (
+    DEFAULT_DROP_DEADLINE_FACTOR,
+    ServingReport,
+    build_serving_report,
+    stream_frame_latencies,
+)
+from repro.serve.workload import StreamingWorkload
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """An ordered set of accelerator chips served by one router.
+
+    Chips may be heterogeneous (different PE counts, partitions, or dataflow
+    mixes); chip names must be unique because reports key on them.
+    """
+
+    name: str
+    chips: Tuple[AcceleratorDesign, ...]
+
+    def __post_init__(self) -> None:
+        if not self.chips:
+            raise WorkloadError(f"fleet {self.name!r} has no chips")
+        names = [chip.name for chip in self.chips]
+        if len(set(names)) != len(names):
+            raise WorkloadError(
+                f"fleet {self.name!r} has duplicate chip names; rename the "
+                f"replicas (Fleet.homogeneous does this automatically)")
+
+    @classmethod
+    def homogeneous(cls, design: AcceleratorDesign, count: int,
+                    name: Optional[str] = None) -> "Fleet":
+        """``count`` identical replicas of one design, names suffixed ``[k]``."""
+        if count < 1:
+            raise WorkloadError(f"fleet size must be >= 1 (got {count})")
+        chips = tuple(
+            dataclasses.replace(design, name=f"{design.name}[{index}]")
+            for index in range(count))
+        return cls(name=name or f"{design.name}-x{count}", chips=chips)
+
+    @property
+    def num_chips(self) -> int:
+        """Number of chips in the fleet."""
+        return len(self.chips)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by reports and the CLI."""
+        lines = [f"Fleet {self.name}: {self.num_chips} chip(s)"]
+        for chip in self.chips:
+            lines.append("  " + chip.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChipStats:
+    """Fleet-level statistics of one chip over the simulated window."""
+
+    chip_name: str
+    frames: int
+    busy_s: float
+    utilisation: float
+    missed_frames: int
+    backlogged_frames: int
+    dropped_frames: int
+    p99_latency_s: float
+
+    def summary(self) -> Dict[str, float]:
+        """The stats as a strict-JSON-serializable dictionary."""
+        return {
+            "chip": self.chip_name,
+            "frames": float(self.frames),
+            "busy_s": self.busy_s,
+            "utilisation": self.utilisation,
+            "missed_frames": float(self.missed_frames),
+            "backlogged_frames": float(self.backlogged_frames),
+            "dropped_frames": float(self.dropped_frames),
+            "p99_latency_s": self.p99_latency_s,
+        }
+
+    def describe(self) -> str:
+        """One report line (the CLI's per-chip row)."""
+        return (f"{self.chip_name:<28} {self.frames:>4} frames  "
+                f"util {self.utilisation:6.1%}  "
+                f"p99 {self.p99_latency_s * 1e3:8.3f} ms  "
+                f"miss {self.missed_frames:>3}  "
+                f"backlog {self.backlogged_frames:>3}  "
+                f"drop {self.dropped_frames:>3}")
+
+
+@dataclass
+class FleetReport:
+    """Aggregate SLA statistics of one fleet simulation.
+
+    Fleet percentiles are computed over the *pooled* per-frame latencies of
+    every chip (``frame_latencies_s``, keyed by global ``"model#index"``
+    frame id) — by construction they equal recomputing the percentile over
+    the concatenated per-chip latency lists, which the invariant harness
+    checks.  Backlog stays a per-chip notion (a frame is backlogged when the
+    stream's next arrival *on the same chip* lands while it is in flight).
+    """
+
+    fleet_name: str
+    workload_name: str
+    policy: str
+    chips: List[ChipStats] = field(default_factory=list)
+    frame_latencies_s: Dict[str, float] = field(default_factory=dict)
+    missed_frame_ids: Tuple[str, ...] = ()
+    horizon_s: float = 0.0
+
+    @property
+    def total_frames(self) -> int:
+        """Frames across the whole fleet."""
+        return len(self.frame_latencies_s)
+
+    @property
+    def missed_frames(self) -> int:
+        """Deadline misses across the whole fleet."""
+        return len(self.missed_frame_ids)
+
+    @property
+    def backlogged_frames(self) -> int:
+        """Backlogged frames across the whole fleet."""
+        return sum(stats.backlogged_frames for stats in self.chips)
+
+    @property
+    def dropped_frames(self) -> int:
+        """Late-drops across the whole fleet."""
+        return sum(stats.dropped_frames for stats in self.chips)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Aggregate miss rate over every simulated frame."""
+        frames = self.total_frames
+        return self.missed_frames / frames if frames else 0.0
+
+    @property
+    def meets_sla(self) -> bool:
+        """True when no frame in the fleet missed its deadline."""
+        return self.missed_frames == 0
+
+    def _pooled(self, q: float) -> float:
+        if not self.frame_latencies_s:
+            return 0.0
+        return percentile(self.frame_latencies_s.values(), q)
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Fleet-wide median frame latency (pooled over all chips)."""
+        return self._pooled(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        """Fleet-wide p95 frame latency (pooled over all chips)."""
+        return self._pooled(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """Fleet-wide p99 frame latency (pooled over all chips)."""
+        return self._pooled(99.0)
+
+    @property
+    def max_latency_s(self) -> float:
+        """Worst frame latency anywhere in the fleet."""
+        if not self.frame_latencies_s:
+            return 0.0
+        return max(self.frame_latencies_s.values())
+
+    def load_imbalance(self) -> float:
+        """Largest per-chip busy time divided by the smallest.
+
+        The fleet analogue of :meth:`Schedule.load_imbalance`: ``inf`` when
+        some chip did work while another sat idle, ``1.0`` for a perfectly
+        even (or entirely idle) fleet.
+        """
+        return imbalance([stats.busy_s for stats in self.chips])
+
+    def load_imbalance_finite(self) -> float:
+        """:meth:`load_imbalance` with infinity mapped to the finite sentinel."""
+        value = self.load_imbalance()
+        if value == float("inf"):
+            return LOAD_IMBALANCE_UNUSED_SENTINEL
+        return value
+
+    def summary(self) -> Dict[str, object]:
+        """Report as a strict-JSON-serializable dictionary."""
+        return {
+            "fleet": self.fleet_name,
+            "workload": self.workload_name,
+            "policy": self.policy,
+            "num_chips": float(len(self.chips)),
+            "frames": float(self.total_frames),
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "max_latency_s": self.max_latency_s,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "missed_frames": float(self.missed_frames),
+            "backlogged_frames": float(self.backlogged_frames),
+            "dropped_frames": float(self.dropped_frames),
+            "load_imbalance": self.load_imbalance_finite(),
+            "horizon_s": self.horizon_s,
+            "chips": [stats.summary() for stats in self.chips],
+        }
+
+    def describe(self) -> str:
+        """Multi-line report (the CLI output body)."""
+        lines = [
+            f"Fleet report for {self.workload_name} on {self.fleet_name} "
+            f"[{self.policy}]: {self.total_frames} frames, "
+            f"p99 {self.p99_latency_s * 1e3:.3f} ms, "
+            f"miss rate {self.deadline_miss_rate:.1%} "
+            f"({self.missed_frames} missed, {self.backlogged_frames} "
+            f"backlogged, {self.dropped_frames} dropped), "
+            f"imbalance {self.load_imbalance_finite():.2f}",
+        ]
+        for stats in self.chips:
+            lines.append("  " + stats.describe())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChipServingResult:
+    """One chip's slice of a fleet simulation: report, schedule, frame map."""
+
+    chip: AcceleratorDesign
+    report: ServingReport
+    schedule: Optional[Schedule]
+    #: Global frame id ("model#index" over the *input* workload's numbering)
+    #: -> latency seconds, for the frames this chip served.  Computed with
+    #: exactly the arithmetic of :func:`build_serving_report`
+    #: (``finish_cycle / clock - release_s``), so pooled fleet statistics and
+    #: the per-chip stream statistics can never disagree about a frame.
+    frame_latencies_s: Dict[str, float]
+    #: Global frame ids of this chip's deadline misses — the same strict
+    #: ``latency > deadline`` comparison the per-chip report counts, so the
+    #: fleet-level miss total always equals the sum of the per-chip rows.
+    missed_frame_ids: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """A fleet simulation outcome: aggregate report plus per-chip details."""
+
+    report: FleetReport
+    plan: DispatchPlan
+    chip_results: Tuple[ChipServingResult, ...]
+
+
+def _frame_accounting(workload: StreamingWorkload,
+                      records: Dict[str, Dict[str, float]],
+                      clock_hz: float,
+                      frame_map: Dict[str, Tuple[str, int]]
+                      ) -> Tuple[Dict[str, float], Tuple[str, ...]]:
+    """Globally-keyed per-frame latencies and deadline misses of one chip.
+
+    The latency floats come from
+    :func:`~repro.serve.simulator.stream_frame_latencies` — the same call the
+    per-chip report rows are built from — and a miss is the same strict
+    ``latency > deadline`` the report's miss rate counts, so a boundary frame
+    can never be a miss in the per-chip stream rows and a hit in the fleet
+    aggregate (or vice versa).  ``records`` is the chip schedule's
+    ``frame_records()``, computed once by the caller and shared with the
+    report builder.
+    """
+    latencies: Dict[str, float] = {}
+    missed: List[str] = []
+    for stream in workload.streams:
+        bound = stream.effective_deadline_s
+        per_frame = stream_frame_latencies(stream, records, clock_hz)
+        for index, latency in enumerate(per_frame):
+            local_id = f"{stream.model_name}#{index}"
+            global_id = "{}#{}".format(*frame_map[local_id])
+            latencies[global_id] = latency
+            if latency > bound:
+                missed.append(global_id)
+    return latencies, tuple(missed)
+
+
+class FleetSimulator:
+    """Simulates a streaming workload on a fleet of chips.
+
+    Per-chip simulations are executed as
+    :class:`~repro.exec.tasks.EvaluationTask`\\ s through an execution
+    backend (serial by default; pass a
+    :class:`~repro.exec.backends.ProcessPoolBackend` to simulate the chips in
+    parallel worker processes — results are identical, only wall-clock
+    differs).  The router's load estimates and the chips' schedules share one
+    cost model, so estimation warms exactly the memo scheduling consumes.
+
+    Parameters
+    ----------
+    cost_model / scheduler:
+        Shared cost model and (configured) online scheduler, exactly as the
+        single-chip :class:`~repro.serve.simulator.ServingSimulator` takes
+        them.  When a ``backend`` is supplied these must be left unset — the
+        backend carries its own pair (mirroring
+        :func:`~repro.core.evaluator.evaluate_designs`).
+    backend:
+        Execution backend the per-chip evaluations run on.
+    drop_deadline_factor:
+        Late-drop threshold forwarded to the per-chip SLA accounting.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 scheduler: Optional[HeraldScheduler] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 drop_deadline_factor: float = DEFAULT_DROP_DEADLINE_FACTOR
+                 ) -> None:
+        if drop_deadline_factor < 1.0:
+            raise ValueError(
+                f"drop_deadline_factor must be >= 1 (got {drop_deadline_factor})")
+        if backend is not None:
+            if cost_model is not None or scheduler is not None:
+                raise ValueError(
+                    "pass cost_model/scheduler to the backend, not to "
+                    "FleetSimulator, when a backend is supplied")
+            self.backend = backend
+        else:
+            cost_model = cost_model or CostModel()
+            scheduler = scheduler or HeraldScheduler(cost_model)
+            self.backend = SerialBackend(cost_model=cost_model,
+                                         scheduler=scheduler)
+        self.drop_deadline_factor = drop_deadline_factor
+        self.estimator = FrameCostEstimator(self.backend.cost_model)
+
+    def simulate(self, streaming: StreamingWorkload, fleet: Fleet,
+                 policy: Union[str, DispatchPolicy] = "round-robin"
+                 ) -> FleetResult:
+        """Route the workload over the fleet and aggregate the SLA report."""
+        router = Router(policy, estimator=self.estimator)
+        plan = router.dispatch(streaming, fleet.chips)
+
+        tasks = [
+            EvaluationTask(task_id=index, design=chip, workload=workload,
+                           category="fleet-chip")
+            for index, (chip, workload)
+            in enumerate(zip(fleet.chips, plan.chip_workloads))
+            if workload is not None
+        ]
+        evaluations = {task.task_id: result for task, result
+                       in zip(tasks, self.backend.run(tasks))}
+
+        chip_results: List[ChipServingResult] = []
+        for index, chip in enumerate(fleet.chips):
+            workload = plan.chip_workloads[index]
+            clock = chip.sub_accelerators[0].clock_hz
+            if workload is None:
+                chip_results.append(ChipServingResult(
+                    chip=chip,
+                    report=ServingReport(
+                        workload_name=f"{streaming.name}@chip{index}",
+                        clock_hz=clock),
+                    schedule=None,
+                    frame_latencies_s={},
+                ))
+                continue
+            schedule = evaluations[index].schedule
+            records = schedule.frame_records()
+            report = build_serving_report(workload, schedule, clock,
+                                          self.drop_deadline_factor,
+                                          records=records)
+            latencies, missed = _frame_accounting(
+                workload, records, clock, plan.frame_maps[index])
+            chip_results.append(ChipServingResult(
+                chip=chip, report=report, schedule=schedule,
+                frame_latencies_s=latencies, missed_frame_ids=missed))
+
+        report = self._aggregate(streaming, fleet, plan, chip_results)
+        return FleetResult(report=report, plan=plan,
+                           chip_results=tuple(chip_results))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def _aggregate(self, streaming: StreamingWorkload, fleet: Fleet,
+                   plan: DispatchPlan,
+                   chip_results: Sequence[ChipServingResult]) -> FleetReport:
+        horizon_cycles_s = [
+            result.schedule.makespan_cycles
+            / result.chip.sub_accelerators[0].clock_hz
+            for result in chip_results if result.schedule is not None
+        ]
+        horizon_s = max(horizon_cycles_s, default=0.0)
+
+        pooled: Dict[str, float] = {}
+        missed: List[str] = []
+        chips: List[ChipStats] = []
+        for result in chip_results:
+            pooled.update(result.frame_latencies_s)
+            missed.extend(result.missed_frame_ids)
+            chips.append(self._chip_stats(result, horizon_s))
+        return FleetReport(
+            fleet_name=fleet.name,
+            workload_name=streaming.name,
+            policy=plan.policy,
+            chips=chips,
+            frame_latencies_s=pooled,
+            missed_frame_ids=tuple(sorted(missed)),
+            horizon_s=horizon_s,
+        )
+
+    def _chip_stats(self, result: ChipServingResult,
+                    horizon_s: float) -> ChipStats:
+        chip = result.chip
+        busy_s = 0.0
+        if result.schedule is not None:
+            clock = chip.sub_accelerators[0].clock_hz
+            busy_s = sum(result.schedule.busy_cycles(acc.name)
+                         for acc in chip.sub_accelerators) / clock
+        capacity_s = horizon_s * len(chip.sub_accelerators)
+        report = result.report
+        return ChipStats(
+            chip_name=chip.name,
+            frames=report.total_frames,
+            busy_s=busy_s,
+            utilisation=busy_s / capacity_s if capacity_s > 0.0 else 0.0,
+            missed_frames=report.missed_frames,
+            backlogged_frames=report.backlogged_frames,
+            dropped_frames=report.dropped_frames,
+            p99_latency_s=report.p99_latency_s,
+        )
+
+
+@dataclass(frozen=True)
+class MinChipsResult:
+    """Outcome of the minimum-fleet-size bisection.
+
+    ``chips`` is the smallest explored fleet size meeting the SLA (``0`` when
+    even ``max_chips`` misses deadlines); ``report`` is the fleet report at
+    that size (``None`` when infeasible).
+    """
+
+    chips: int
+    evaluations: int
+    report: Optional[FleetReport]
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        if self.chips < 1:
+            return ("min chips for SLA: none (misses deadlines even at the "
+                    "explored maximum)")
+        return (f"min chips for SLA: {self.chips} "
+                f"({self.evaluations} fleet simulations, p99 "
+                f"{self.report.p99_latency_s * 1e3:.3f} ms at that size)")
+
+
+def min_chips_for_sla(simulator: FleetSimulator,
+                      streaming: StreamingWorkload,
+                      design: AcceleratorDesign,
+                      policy: Union[str, DispatchPolicy] = "earliest-completion",
+                      max_chips: int = 8) -> MinChipsResult:
+    """Smallest homogeneous fleet of ``design`` serving with zero misses.
+
+    The fleet analogue of :func:`~repro.serve.simulator.sustained_fps`:
+    bisects fleet size on the zero-miss predicate, which is monotone for all
+    practical purposes (adding a replica only removes load from the others
+    under every shipped policy).  At most ``2 + ceil(log2(max_chips))``
+    simulations run: the two bracket probes plus the bisection.
+    """
+    if max_chips < 1:
+        raise ValueError(f"max_chips must be >= 1 (got {max_chips})")
+
+    evaluations = 0
+    reports: Dict[int, FleetReport] = {}
+
+    def meets(count: int) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        fleet = Fleet.homogeneous(design, count)
+        result = simulator.simulate(streaming, fleet, policy=policy)
+        reports[count] = result.report
+        return result.report.meets_sla
+
+    if meets(1):
+        return MinChipsResult(chips=1, evaluations=evaluations,
+                              report=reports[1])
+    if max_chips == 1 or not meets(max_chips):
+        return MinChipsResult(chips=0, evaluations=evaluations, report=None)
+    failing, meeting = 1, max_chips
+    while meeting - failing > 1:
+        midpoint = (failing + meeting) // 2
+        if meets(midpoint):
+            meeting = midpoint
+        else:
+            failing = midpoint
+    return MinChipsResult(chips=meeting, evaluations=evaluations,
+                          report=reports[meeting])

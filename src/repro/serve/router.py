@@ -1,0 +1,420 @@
+"""Fleet-level frame dispatch: pluggable routing policies over many chips.
+
+A datacenter serving deployment puts a *router* in front of N accelerator
+chips: every arriving frame is dispatched to exactly one chip, and each chip
+then schedules its assigned frames with its own online scheduler (the
+Clockwork / INFaaS framing of datacenter inference, applied to Herald's
+multi-DNN AR/VR streams).  This module owns the dispatch decision only —
+:mod:`repro.serve.fleet` owns running the per-chip simulations and
+aggregating their reports.
+
+Dispatch is deterministic and *a-priori*: the router sees the arrival trace
+(release times) and per-frame service-time **estimates** from the shape-keyed
+:class:`~repro.maestro.cost.CostModel`, never the simulated outcome, exactly
+like a real front-end that routes on load predictions.  Four policies ship,
+plus the degenerate passthrough:
+
+* ``passthrough``    — everything to chip 0 (the single-chip identity: a
+  one-chip fleet must be bit-for-bit today's single-chip simulator);
+* ``round-robin``    — frames cycle over the chips in arrival order;
+* ``least-outstanding`` — each frame goes to the chip with the least
+  estimated outstanding work at the frame's release instant;
+* ``earliest-completion`` — SLA-aware: each frame goes to the chip whose
+  estimated completion time (backlog drain + this frame's estimated service
+  time on *that* chip) is earliest — on heterogeneous fleets this prefers a
+  busier-but-faster chip when it still finishes first;
+* ``sticky``         — per-stream affinity: every frame of one stream lands
+  on one chip (no cross-chip reordering within a stream), streams placed by
+  longest-processing-time-first onto the least-loaded chip.
+
+All policies break ties on the lowest chip index, so a dispatch plan is a
+pure function of ``(workload, fleet, policy)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.accel.design import AcceleratorDesign
+from repro.exceptions import WorkloadError
+from repro.maestro.cost import CostModel
+from repro.serve.trace import FrameTrace
+from repro.serve.workload import StreamingWorkload
+
+
+@dataclass(frozen=True)
+class FrameRef:
+    """One frame as the router sees it: which stream, which frame, when."""
+
+    stream_index: int
+    model_name: str
+    frame_index: int
+    release_s: float
+
+
+class FrameCostEstimator:
+    """Estimated per-frame service time of each model on each chip.
+
+    The estimate is the sum over the model's layers of the best
+    per-sub-accelerator latency (each layer on its cheapest array, ignoring
+    queueing and dependence stalls) — an optimistic but *consistently ranked*
+    proxy: a chip with more PEs or a better-matching dataflow gets a smaller
+    number.  Estimates ride the shape-keyed cost-model memo, so they are
+    nearly free once the model has warmed, and the memo entries double as
+    warm-up for the per-chip simulations that follow.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model or CostModel()
+
+    def chip_key(self, chip: AcceleratorDesign) -> Tuple:
+        """Cost-relevant identity of a chip (clones share estimates)."""
+        return tuple(self.cost_model.hardware_key(acc)
+                     for acc in chip.sub_accelerators)
+
+    def frame_service_s(self, streaming: StreamingWorkload, model_name: str,
+                        chip: AcceleratorDesign) -> float:
+        """Estimated seconds one frame of ``model_name`` occupies ``chip``."""
+        graph = streaming.to_workload_spec().model_graph(model_name)
+        total = 0.0
+        for layer in graph.dependence_order():
+            total += min(
+                self.cost_model.layer_cost(layer, acc).latency_cycles
+                / acc.clock_hz
+                for acc in chip.sub_accelerators)
+        return total
+
+    def service_table(self, streaming: StreamingWorkload,
+                      chips: Sequence[AcceleratorDesign]
+                      ) -> List[Dict[str, float]]:
+        """Per-chip ``{model_name: estimated seconds}`` tables.
+
+        Identically-configured chips (equal :meth:`chip_key`) share one
+        computation, so a 64-way homogeneous fleet estimates each model once.
+        """
+        by_key: Dict[Tuple, Dict[str, float]] = {}
+        tables: List[Dict[str, float]] = []
+        for chip in chips:
+            key = self.chip_key(chip)
+            table = by_key.get(key)
+            if table is None:
+                table = {stream.model_name:
+                         self.frame_service_s(streaming, stream.model_name, chip)
+                         for stream in streaming.streams}
+                by_key[key] = table
+            tables.append(table)
+        return tables
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+class DispatchPolicy:
+    """Base class of routing policies: order frames, pick a chip for each.
+
+    ``assign`` receives the frames in global arrival order (release time,
+    then stream position, then frame index — a deterministic total order even
+    under jitter ties) together with the per-chip service-time tables, and
+    returns one chip index per frame, aligned with ``frames``.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def assign(self, frames: Sequence[FrameRef],
+               service_tables: Sequence[Dict[str, float]]) -> List[int]:
+        raise NotImplementedError
+
+
+class PassthroughPolicy(DispatchPolicy):
+    """Everything to chip 0 — the single-chip identity routing."""
+
+    name = "passthrough"
+
+    def assign(self, frames, service_tables):
+        return [0] * len(frames)
+
+
+class RoundRobinPolicy(DispatchPolicy):
+    """Frames cycle over the chips in arrival order, blind to load."""
+
+    name = "round-robin"
+
+    def assign(self, frames, service_tables):
+        chips = len(service_tables)
+        return [position % chips for position in range(len(frames))]
+
+
+class LeastOutstandingPolicy(DispatchPolicy):
+    """Each frame to the chip with the least estimated outstanding work.
+
+    The router tracks, per chip, the instant its dispatched-but-unfinished
+    work is estimated to drain (``available_at``).  A frame released at ``t``
+    sees ``max(0, available_at - t)`` outstanding seconds on each chip and
+    picks the minimum — the classic least-outstanding-requests balancer,
+    measured in estimated work rather than request counts so heavy and light
+    models mix fairly.
+    """
+
+    name = "least-outstanding"
+
+    def assign(self, frames, service_tables):
+        available_at = [0.0] * len(service_tables)
+        choices: List[int] = []
+        for frame in frames:
+            chip = min(
+                range(len(service_tables)),
+                key=lambda index: (max(0.0, available_at[index] - frame.release_s),
+                                   index))
+            available_at[chip] = (max(available_at[chip], frame.release_s)
+                                  + service_tables[chip][frame.model_name])
+            choices.append(chip)
+        return choices
+
+
+class EarliestCompletionPolicy(DispatchPolicy):
+    """SLA-aware: each frame to the chip estimated to *finish* it first.
+
+    Completion on chip ``c`` is ``max(available_at[c], release) +
+    service(model, c)`` — backlog drain plus this frame's service time on
+    that chip's arrays.  Unlike ``least-outstanding`` the frame's own cost
+    participates, so on a heterogeneous fleet a busier-but-faster chip wins
+    when it still completes the frame earlier; minimising per-frame completion
+    is exactly minimising the term the deadline is written against.
+    """
+
+    name = "earliest-completion"
+
+    def assign(self, frames, service_tables):
+        available_at = [0.0] * len(service_tables)
+        choices: List[int] = []
+        for frame in frames:
+            def completion(index: int) -> float:
+                return (max(available_at[index], frame.release_s)
+                        + service_tables[index][frame.model_name])
+
+            chip = min(range(len(service_tables)),
+                       key=lambda index: (completion(index), index))
+            available_at[chip] = completion(chip)
+            choices.append(chip)
+        return choices
+
+
+class StickyPolicy(DispatchPolicy):
+    """Per-stream affinity: all frames of one stream go to one chip.
+
+    Streams are placed before any frame flows, longest-processing-time
+    first: streams in descending total estimated load, each onto the chip
+    whose load-after-placement (existing load plus the stream's cost *on that
+    chip*) is smallest.  Affinity preserves per-stream frame order on a
+    single chip — the property stateful per-stream pipelines (trackers,
+    temporal models) need — at the price of no intra-stream spreading.
+    """
+
+    name = "sticky"
+
+    def assign(self, frames, service_tables):
+        per_stream_frames: Dict[int, int] = {}
+        stream_model: Dict[int, str] = {}
+        for frame in frames:
+            per_stream_frames[frame.stream_index] = (
+                per_stream_frames.get(frame.stream_index, 0) + 1)
+            stream_model[frame.stream_index] = frame.model_name
+
+        def stream_load(stream_index: int, chip_index: int) -> float:
+            return (per_stream_frames[stream_index]
+                    * service_tables[chip_index][stream_model[stream_index]])
+
+        # LPT order: heaviest stream (by its mean load across chips) first;
+        # ties resolve on stream position for determinism.
+        order = sorted(
+            per_stream_frames,
+            key=lambda stream_index: (
+                -sum(stream_load(stream_index, chip)
+                     for chip in range(len(service_tables)))
+                / len(service_tables),
+                stream_index))
+        load = [0.0] * len(service_tables)
+        placement: Dict[int, int] = {}
+        for stream_index in order:
+            chip = min(
+                range(len(service_tables)),
+                key=lambda index: (load[index] + stream_load(stream_index, index),
+                                   index))
+            placement[stream_index] = chip
+            load[chip] += stream_load(stream_index, chip)
+        return [placement[frame.stream_index] for frame in frames]
+
+
+#: Registry of the shipped policies, keyed by CLI-facing name.
+ROUTER_POLICIES: Dict[str, type] = {
+    policy.name: policy
+    for policy in (PassthroughPolicy, RoundRobinPolicy, LeastOutstandingPolicy,
+                   EarliestCompletionPolicy, StickyPolicy)
+}
+
+#: The policies a multi-chip fleet meaningfully chooses between (passthrough
+#: is the degenerate single-chip identity, listed separately).
+DISPATCH_POLICY_NAMES: Tuple[str, ...] = (
+    "round-robin", "least-outstanding", "earliest-completion", "sticky")
+
+
+def policy_by_name(name: str) -> DispatchPolicy:
+    """Instantiate a registered dispatch policy."""
+    try:
+        return ROUTER_POLICIES[name]()
+    except KeyError:
+        raise WorkloadError(
+            f"unknown dispatch policy {name!r}; "
+            f"available: {sorted(ROUTER_POLICIES)}") from None
+
+
+# ---------------------------------------------------------------------------
+# The router
+# ---------------------------------------------------------------------------
+@dataclass
+class DispatchPlan:
+    """Outcome of routing one workload over one fleet.
+
+    ``assignments`` maps every global frame ``(model_name, frame_index)`` to
+    its chip index — the partition invariant (each frame on exactly one chip)
+    is checkable directly against it.  Each chip's assigned frames become a
+    per-chip :class:`StreamingWorkload` whose frames are *renumbered locally*
+    (chip instance ids are always ``model#0..k-1``); ``frame_maps`` records,
+    per chip, the local instance id back to the global frame, so per-chip
+    schedules can be re-keyed into fleet-wide accounting.  Chips assigned no
+    frames carry ``None`` workloads.
+    """
+
+    policy: str
+    assignments: Dict[Tuple[str, int], int]
+    chip_workloads: List[Optional[StreamingWorkload]]
+    frame_maps: List[Dict[str, Tuple[str, int]]] = field(default_factory=list)
+
+    @property
+    def frames_per_chip(self) -> List[int]:
+        """Number of frames routed to each chip."""
+        return [len(frame_map) for frame_map in self.frame_maps]
+
+
+class Router:
+    """Dispatches every frame of a streaming workload to one fleet chip.
+
+    Parameters
+    ----------
+    policy:
+        A policy name from :data:`ROUTER_POLICIES` or a
+        :class:`DispatchPolicy` instance.
+    estimator:
+        Service-time estimator the load-aware policies consult; defaults to a
+        fresh cost model (pass the simulation's estimator/cost model so
+        routing warms the same memo the chips schedule with).
+    """
+
+    def __init__(self, policy: Union[str, DispatchPolicy] = "round-robin",
+                 estimator: Optional[FrameCostEstimator] = None) -> None:
+        self.policy = (policy_by_name(policy) if isinstance(policy, str)
+                       else policy)
+        self.estimator = estimator or FrameCostEstimator()
+
+    def dispatch(self, streaming: StreamingWorkload,
+                 chips: Sequence[AcceleratorDesign]) -> DispatchPlan:
+        """Assign every frame to a chip and build the per-chip workloads."""
+        if not chips:
+            raise WorkloadError("cannot dispatch onto an empty fleet")
+        frames = arrival_order(streaming)
+        service_tables = self.estimator.service_table(streaming, chips)
+        choices = self.policy.assign(frames, service_tables)
+        if len(choices) != len(frames):
+            raise WorkloadError(
+                f"policy {self.policy.name!r} returned {len(choices)} choices "
+                f"for {len(frames)} frames")
+        if any(not 0 <= choice < len(chips) for choice in choices):
+            raise WorkloadError(
+                f"policy {self.policy.name!r} routed a frame outside the "
+                f"{len(chips)}-chip fleet")
+
+        assignments = {
+            (frame.model_name, frame.frame_index): choice
+            for frame, choice in zip(frames, choices)
+        }
+        workloads, frame_maps = _build_chip_workloads(streaming, assignments,
+                                                      len(chips))
+        return DispatchPlan(policy=self.policy.name, assignments=assignments,
+                            chip_workloads=workloads, frame_maps=frame_maps)
+
+
+def arrival_order(streaming: StreamingWorkload) -> List[FrameRef]:
+    """Every frame of the workload in global arrival order.
+
+    Sorted by (release time, stream position, frame index): the order a
+    front-end would observe, with deterministic tie-breaking so dispatch
+    plans are reproducible across platforms.
+    """
+    frames: List[FrameRef] = []
+    for stream_index, stream in enumerate(streaming.streams):
+        for frame_index, release in enumerate(stream.release_times_s()):
+            frames.append(FrameRef(stream_index=stream_index,
+                                   model_name=stream.model_name,
+                                   frame_index=frame_index,
+                                   release_s=release))
+    frames.sort(key=lambda frame: (frame.release_s, frame.stream_index,
+                                   frame.frame_index))
+    return frames
+
+
+def _build_chip_workloads(streaming: StreamingWorkload,
+                          assignments: Dict[Tuple[str, int], int],
+                          num_chips: int
+                          ) -> Tuple[List[Optional[StreamingWorkload]],
+                                     List[Dict[str, Tuple[str, int]]]]:
+    """Per-chip workloads (local frame renumbering) plus the id back-maps.
+
+    A chip that receives *every* frame of a stream keeps the original stream
+    spec object (so a passthrough plan hands chip 0 a workload equivalent to
+    the input, jitter description included); a partial subset becomes a
+    :class:`FrameTrace` carrying the subset's release instants verbatim.
+    Local frame indices preserve global frame order, so a complete subset's
+    instance ids coincide with the global ones.
+    """
+    workloads: List[Optional[StreamingWorkload]] = []
+    frame_maps: List[Dict[str, Tuple[str, int]]] = []
+    for chip_index in range(num_chips):
+        streams = []
+        frame_map: Dict[str, Tuple[str, int]] = {}
+        for stream in streaming.streams:
+            releases = stream.release_times_s()
+            mine = [frame_index for frame_index in range(stream.frames)
+                    if assignments[(stream.model_name, frame_index)] == chip_index]
+            if not mine:
+                continue
+            for local_index, global_index in enumerate(mine):
+                frame_map[f"{stream.model_name}#{local_index}"] = (
+                    stream.model_name, global_index)
+            if len(mine) == stream.frames:
+                streams.append(stream)
+            else:
+                streams.append(FrameTrace(
+                    model_name=stream.model_name,
+                    releases_s=tuple(releases[frame_index]
+                                     for frame_index in mine),
+                    deadline_s=stream.effective_deadline_s,
+                    fps=stream.fps,
+                ))
+        if streams:
+            # Only the graphs this chip's streams reference: per-chip
+            # workloads travel to pool workers as task pickles, and an
+            # unreferenced model graph is dead weight there (zoo models
+            # resolve by name in the worker anyway).
+            served = {stream.model_name for stream in streams}
+            workloads.append(StreamingWorkload(
+                name=f"{streaming.name}@chip{chip_index}",
+                streams=streams,
+                models={name: graph for name, graph in streaming.models.items()
+                        if name in served},
+            ))
+        else:
+            workloads.append(None)
+        frame_maps.append(frame_map)
+    return workloads, frame_maps

@@ -196,61 +196,103 @@ class ServingSimulator:
             spec, sub_accelerators,
             release_cycles=streaming.release_cycles(clock))
         schedule.instance_deadline_cycles = streaming.deadline_cycles(clock)
-        report = self._build_report(streaming, schedule, clock)
+        report = build_serving_report(streaming, schedule, clock,
+                                      self.drop_deadline_factor)
         return ServingResult(report=report, schedule=schedule)
 
-    # ------------------------------------------------------------------
-    # Accounting
-    # ------------------------------------------------------------------
-    def _build_report(self, streaming: StreamingWorkload, schedule: Schedule,
-                      clock_hz: float) -> ServingReport:
+
+def build_serving_report(streaming: StreamingWorkload, schedule: Schedule,
+                         clock_hz: float,
+                         drop_deadline_factor: float = DEFAULT_DROP_DEADLINE_FACTOR,
+                         records: Optional[Dict[str, Dict[str, float]]] = None
+                         ) -> ServingReport:
+    """SLA accounting of one (streaming workload, schedule) pair.
+
+    The single definition of the per-stream serving statistics:
+    :meth:`ServingSimulator.simulate` applies it to the schedule it just
+    produced, and the fleet layer applies it per chip to schedules computed
+    through an execution backend — both paths therefore account misses,
+    backlog, and drops identically.  ``schedule`` must cover exactly the
+    frames of ``streaming`` (instance ids ``"model#index"``); ``records``
+    optionally supplies a precomputed ``schedule.frame_records()`` so callers
+    running several accounting passes over one schedule walk it only once.
+    """
+    if drop_deadline_factor < 1.0:
+        raise ValueError(
+            f"drop_deadline_factor must be >= 1 (got {drop_deadline_factor})")
+    if records is None:
         records = schedule.frame_records()
-        report = ServingReport(workload_name=streaming.name, clock_hz=clock_hz)
-        for stream in streaming.streams:
-            releases = stream.release_times_s()
-            # A frame is *backlogged* when it is still in flight as the
-            # stream's next arrival lands.  Jitter can reorder arrivals, so
-            # "next" means next in *time* order, not frame order — comparing
-            # against releases[index + 1] would brand a frame backlogged
-            # whenever its successor arrived early, however fast it ran.
-            time_order = sorted(range(stream.frames),
-                                key=lambda index: (releases[index], index))
-            next_arrival_s: Dict[int, float] = {
-                time_order[position]: releases[time_order[position + 1]]
-                for position in range(len(time_order) - 1)
-            }
-            latencies: List[float] = []
-            backlogged = 0
-            bound = stream.effective_deadline_s
-            for index in range(stream.frames):
-                record = records[f"{stream.model_name}#{index}"]
-                finish_s = record["finish_cycle"] / clock_hz
-                latencies.append(finish_s - releases[index])
-                successor = next_arrival_s.get(index)
-                if successor is not None and finish_s > successor:
-                    backlogged += 1
-            # ``deadline_miss_rate`` is the single definition of a miss
-            # (strict >); the counts are derived from it rather than
-            # re-implementing the comparison, so rate and count cannot drift
-            # apart.  rate * n is k/n * n for integer k, so round() is exact.
-            miss_rate = deadline_miss_rate(latencies, bound)
-            drop_rate = deadline_miss_rate(
-                latencies, bound * self.drop_deadline_factor)
-            report.streams.append(StreamStats(
-                model_name=stream.model_name,
-                fps=stream.fps,
-                frames=stream.frames,
-                p50_latency_s=percentile(latencies, 50.0),
-                p95_latency_s=percentile(latencies, 95.0),
-                p99_latency_s=percentile(latencies, 99.0),
-                mean_latency_s=sum(latencies) / len(latencies),
-                max_latency_s=max(latencies),
-                deadline_miss_rate=miss_rate,
-                missed_frames=round(miss_rate * len(latencies)),
-                backlogged_frames=backlogged,
-                dropped_frames=round(drop_rate * len(latencies)),
-            ))
-        return report
+    return _build_report_from_records(streaming, records, clock_hz,
+                                      drop_deadline_factor)
+
+
+def stream_frame_latencies(stream, records: Dict[str, Dict[str, float]],
+                           clock_hz: float) -> List[float]:
+    """Per-frame latency seconds of one stream, indexed by frame number.
+
+    The *single* place the frame-latency arithmetic lives
+    (``finish_cycle / clock_hz - release_s``): the per-stream report rows and
+    the fleet layer's globally-pooled accounting both call this, so a
+    boundary frame can never be rounded to a miss on one path and a hit on
+    the other.
+    """
+    releases = stream.release_times_s()
+    return [
+        records[f"{stream.model_name}#{index}"]["finish_cycle"] / clock_hz
+        - releases[index]
+        for index in range(stream.frames)
+    ]
+
+
+def _build_report_from_records(streaming: StreamingWorkload,
+                               records: Dict[str, Dict[str, float]],
+                               clock_hz: float,
+                               drop_deadline_factor: float) -> ServingReport:
+    report = ServingReport(workload_name=streaming.name, clock_hz=clock_hz)
+    for stream in streaming.streams:
+        releases = stream.release_times_s()
+        # A frame is *backlogged* when it is still in flight as the
+        # stream's next arrival lands.  Jitter can reorder arrivals, so
+        # "next" means next in *time* order, not frame order — comparing
+        # against releases[index + 1] would brand a frame backlogged
+        # whenever its successor arrived early, however fast it ran.
+        time_order = sorted(range(stream.frames),
+                            key=lambda index: (releases[index], index))
+        next_arrival_s: Dict[int, float] = {
+            time_order[position]: releases[time_order[position + 1]]
+            for position in range(len(time_order) - 1)
+        }
+        latencies = stream_frame_latencies(stream, records, clock_hz)
+        backlogged = 0
+        bound = stream.effective_deadline_s
+        for index in range(stream.frames):
+            record = records[f"{stream.model_name}#{index}"]
+            finish_s = record["finish_cycle"] / clock_hz
+            successor = next_arrival_s.get(index)
+            if successor is not None and finish_s > successor:
+                backlogged += 1
+        # ``deadline_miss_rate`` is the single definition of a miss
+        # (strict >); the counts are derived from it rather than
+        # re-implementing the comparison, so rate and count cannot drift
+        # apart.  rate * n is k/n * n for integer k, so round() is exact.
+        miss_rate = deadline_miss_rate(latencies, bound)
+        drop_rate = deadline_miss_rate(
+            latencies, bound * drop_deadline_factor)
+        report.streams.append(StreamStats(
+            model_name=stream.model_name,
+            fps=stream.fps,
+            frames=stream.frames,
+            p50_latency_s=percentile(latencies, 50.0),
+            p95_latency_s=percentile(latencies, 95.0),
+            p99_latency_s=percentile(latencies, 99.0),
+            mean_latency_s=sum(latencies) / len(latencies),
+            max_latency_s=max(latencies),
+            deadline_miss_rate=miss_rate,
+            missed_frames=round(miss_rate * len(latencies)),
+            backlogged_frames=backlogged,
+            dropped_frames=round(drop_rate * len(latencies)),
+        ))
+    return report
 
 
 @dataclass(frozen=True)
@@ -279,7 +321,8 @@ class SustainedFpsResult:
 def sustained_fps(simulator: ServingSimulator, streaming: StreamingWorkload,
                   sub_accelerators: Sequence[SubAcceleratorConfig],
                   lo: float = 1.0 / 256.0, hi: float = 8.0,
-                  iterations: int = 10) -> SustainedFpsResult:
+                  iterations: int = 10,
+                  tolerance: float = 0.0) -> SustainedFpsResult:
     """Largest uniform FPS multiplier served with zero deadline misses.
 
     Rate scaling is a uniform time dilation (see :meth:`StreamSpec.scaled`):
@@ -287,15 +330,20 @@ def sustained_fps(simulator: ServingSimulator, streaming: StreamingWorkload,
     predicate is "does the design keep up at this rate against proportionally
     tightened SLAs".  Bisects ``[lo, hi]`` on the zero-miss predicate, which
     is monotone for all practical purposes (raising every rate only tightens
-    release spacing and deadlines).  The probe count is fixed (``iterations``
-    plus the two bracket probes), so the search is deterministic; every probe
-    is a full simulation, and warm cost-model/ranking memos make each one
-    cheap after the first.
+    release spacing and deadlines).  The probe budget is ``iterations``
+    bisection steps plus the two bracket probes; a positive ``tolerance``
+    additionally stops the bisection once the bracket width
+    ``infeasible - feasible`` falls to or below it, so callers can trade
+    probes for precision explicitly instead of inheriting a fixed count.
+    The search is deterministic; every probe is a full simulation, and warm
+    cost-model/ranking memos make each one cheap after the first.
     """
     if not 0.0 < lo < hi:
         raise ValueError(f"need 0 < lo < hi (got lo={lo}, hi={hi})")
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1 (got {iterations})")
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be >= 0 (got {tolerance})")
 
     evaluations = 0
 
@@ -319,6 +367,8 @@ def sustained_fps(simulator: ServingSimulator, streaming: StreamingWorkload,
         return finish(hi)
     feasible, infeasible = lo, hi
     for _ in range(iterations):
+        if tolerance > 0.0 and infeasible - feasible <= tolerance:
+            break
         midpoint = (feasible + infeasible) / 2.0
         if meets(midpoint):
             feasible = midpoint

@@ -137,3 +137,82 @@ class StreamSpec:
         jitter = f" ±{self.jitter_s * 1e3:.1f} ms jitter" if self.jitter_s else ""
         return (f"{self.model_name}: {self.fps:g} FPS x {self.frames} frames"
                 f"{jitter}, deadline {self.effective_deadline_s * 1e3:.1f} ms")
+
+
+@dataclass(frozen=True)
+class FrameTrace:
+    """One stream given by *explicit* release times instead of a rate law.
+
+    Exposes the same surface a :class:`StreamSpec` does (``model_name`` /
+    ``fps`` / ``frames`` / ``release_times_s()`` / ``effective_deadline_s`` /
+    ``scaled()``), so a :class:`~repro.serve.workload.StreamingWorkload` takes
+    either interchangeably.  The fleet router uses this to hand each chip the
+    exact subset of a stream's frames it was assigned: a subset of a periodic
+    stream is generally not periodic, so it cannot be described by a
+    :class:`StreamSpec`, but its release instants are known floats — carrying
+    them verbatim keeps per-chip schedules bit-for-bit reproducible.
+
+    Attributes
+    ----------
+    model_name:
+        Zoo (or custom-graph) name of the model every frame runs.
+    releases_s:
+        Release time of every frame, in seconds (not required to be sorted —
+        jitter-reordered arrivals stay in frame order, like ``StreamSpec``).
+    deadline_s:
+        Per-frame latency deadline relative to each frame's release.
+    fps:
+        Nominal rate carried for reporting (a frame subset has no intrinsic
+        rate, so the router forwards the parent stream's target).
+    """
+
+    model_name: str
+    releases_s: Tuple[float, ...]
+    deadline_s: float
+    fps: float
+
+    def __post_init__(self) -> None:
+        if not self.releases_s:
+            raise WorkloadError(
+                f"trace {self.model_name!r}: needs at least one release time")
+        if any(release < 0.0 for release in self.releases_s):
+            raise WorkloadError(
+                f"trace {self.model_name!r}: release times must be >= 0")
+        if self.deadline_s <= 0.0:
+            raise WorkloadError(
+                f"trace {self.model_name!r}: deadline_s must be positive "
+                f"(got {self.deadline_s})")
+        if self.fps <= 0.0:
+            raise WorkloadError(
+                f"trace {self.model_name!r}: fps must be positive (got {self.fps})")
+
+    @property
+    def frames(self) -> int:
+        """Number of frames in the trace."""
+        return len(self.releases_s)
+
+    @property
+    def effective_deadline_s(self) -> float:
+        """The per-frame deadline (always explicit for a trace)."""
+        return self.deadline_s
+
+    def release_times_s(self) -> Tuple[float, ...]:
+        """Release time of every frame, in seconds, indexed by frame number."""
+        return self.releases_s
+
+    def scaled(self, factor: float) -> "FrameTrace":
+        """This trace under a uniform time dilation (see :meth:`StreamSpec.scaled`)."""
+        if factor <= 0.0:
+            raise WorkloadError(f"fps scale factor must be positive (got {factor})")
+        return FrameTrace(
+            model_name=self.model_name,
+            releases_s=tuple(release / factor for release in self.releases_s),
+            deadline_s=self.deadline_s / factor,
+            fps=self.fps * factor,
+        )
+
+    def describe(self) -> str:
+        """One-line description used by reports and the CLI."""
+        return (f"{self.model_name}: {self.frames} traced frames "
+                f"(nominal {self.fps:g} FPS), deadline "
+                f"{self.deadline_s * 1e3:.1f} ms")

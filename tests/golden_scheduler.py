@@ -33,14 +33,16 @@ _SRC = os.path.join(os.path.dirname(_HERE), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.accel.design import AcceleratorDesign, AcceleratorKind
 from repro.core.dse import HeraldDSE
 from repro.core.partitioner import PartitionSearch
 from repro.core.scheduler import HeraldScheduler
 from repro.dataflow.styles import NVDLA, SHIDIANNAO
 from repro.maestro.cost import CostModel
-from repro.maestro.hardware import SubAcceleratorConfig
+from repro.maestro.hardware import ChipConfig, SubAcceleratorConfig
 from repro.models.graph import ModelGraph
 from repro.models.layer import conv2d, dwconv, fc, pwconv
+from repro.serve.fleet import Fleet, FleetSimulator
 from repro.serve.trace import StreamSpec
 from repro.serve.workload import StreamingWorkload
 from repro.units import gbps, mib
@@ -50,6 +52,7 @@ GOLDEN_DIR = os.path.join(_HERE, "golden")
 TIMELINES_FILE = os.path.join(GOLDEN_DIR, "scheduler_timelines.json")
 DSE_FILE = os.path.join(GOLDEN_DIR, "dse_rankings.json")
 STREAMING_FILE = os.path.join(GOLDEN_DIR, "streaming_timelines.json")
+FLEET_FILE = os.path.join(GOLDEN_DIR, "fleet_timelines.json")
 
 #: Workloads whose full timelines are stored inline (the rest store a digest).
 INLINE_WORKLOADS = ("chain", "diamond")
@@ -345,6 +348,190 @@ def generate_streaming_timelines() -> Dict[str, Dict[str, object]]:
 
 
 # ---------------------------------------------------------------------------
+# Fleet (multi-chip routing) golden scenarios
+# ---------------------------------------------------------------------------
+#: Arrival traces per fleet workload: rates are ~2x what a single golden chip
+#: sustains (chain ~0.20 ms/frame, diamond ~0.14 ms, unet ~2.5 s), so a
+#: one-chip fleet backlogs and the load-aware policies genuinely spread —
+#: while the explicit deadline (the single-rate period) stays meetable once
+#: enough chips share the load.  All fleet traces are jittered (phase 30% of
+#: the period, jitter 20%, seeded) so dispatch under arrival reordering is
+#: part of the pinned behaviour.
+_FLEET_RATES: Dict[str, Tuple[Tuple[str, float, int, float], ...]] = {
+    # workload -> streams of (model name in the graph, fps, frames, deadline_s)
+    "chain": (("chainnet", 8000.0, 12, 1.0 / 4000.0),),
+    "diamond": (("diamond", 12000.0, 12, 1.0 / 6000.0),),
+    "unet": (("unet", 0.8, 4, 1.0 / 0.4),),
+    # Two concurrent streams of different models: the scenario where sticky
+    # per-stream affinity is non-degenerate (streams land on distinct chips).
+    "duo": (("chainnet", 5000.0, 8, 1.0 / 2500.0),
+            ("diamond", 8000.0, 8, 1.0 / 4000.0)),
+}
+
+#: Golden workloads whose graphs each fleet workload draws on.
+_FLEET_GRAPH_SOURCES: Dict[str, Tuple[str, ...]] = {
+    "chain": ("chain",),
+    "diamond": ("diamond",),
+    "unet": ("unet",),
+    "duo": ("chain", "diamond"),
+}
+
+#: Workload topologies of the fleet matrix (the streaming trio plus the
+#: two-stream mix).
+FLEET_WORKLOADS = ("chain", "diamond", "unet", "duo")
+
+#: Fleet compositions exercised per workload.  ``1homo`` is the single-chip
+#: identity (passthrough only); ``2hetero`` pairs the full golden chip with a
+#: quarter-resource sibling so completion-time-aware routing differs from
+#: outstanding-work routing.
+FLEET_TAGS = ("1homo", "2homo", "4homo", "2hetero")
+
+#: (fleet tag, policy) pairs of the golden matrix, per workload.
+FLEET_MATRIX: Tuple[Tuple[str, str], ...] = (
+    ("1homo", "passthrough"),
+    ("2homo", "round-robin"),
+    ("2homo", "least-outstanding"),
+    ("2homo", "earliest-completion"),
+    ("2homo", "sticky"),
+    ("4homo", "round-robin"),
+    ("4homo", "earliest-completion"),
+    ("2hetero", "least-outstanding"),
+    ("2hetero", "earliest-completion"),
+    ("2hetero", "sticky"),
+)
+
+
+def build_fleet_chip(scale: int = 1, label: str = "golden-duo"
+                     ) -> AcceleratorDesign:
+    """The golden two-way NVDLA + Shi-diannao split as a chip design.
+
+    ``scale`` divides every resource (PEs, NoC bandwidth) so heterogeneous
+    fleets can pair the full chip with a slower sibling.
+    """
+    subs = tuple(
+        SubAcceleratorConfig(
+            name=sub.name,
+            dataflow=sub.dataflow,
+            num_pes=sub.num_pes // scale,
+            bandwidth_bytes_per_s=sub.bandwidth_bytes_per_s / scale,
+            buffer_bytes=sub.buffer_bytes,
+        )
+        for sub in build_sub_accelerators())
+    chip = ChipConfig(
+        name=f"{label}-chip",
+        num_pes=sum(sub.num_pes for sub in subs),
+        noc_bandwidth_bytes_per_s=sum(sub.bandwidth_bytes_per_s
+                                      for sub in subs),
+        global_buffer_bytes=mib(2),
+    )
+    return AcceleratorDesign(name=label, kind=AcceleratorKind.HDA, chip=chip,
+                             sub_accelerators=subs)
+
+
+def build_fleet(tag: str) -> Fleet:
+    """The fleet composition named by one matrix tag."""
+    if tag == "1homo":
+        return Fleet.homogeneous(build_fleet_chip(), 1)
+    if tag == "2homo":
+        return Fleet.homogeneous(build_fleet_chip(), 2)
+    if tag == "4homo":
+        return Fleet.homogeneous(build_fleet_chip(), 4)
+    if tag == "2hetero":
+        return Fleet(name="golden-hetero", chips=(
+            build_fleet_chip(scale=1, label="golden-duo"),
+            build_fleet_chip(scale=4, label="golden-quarter"),
+        ))
+    raise ValueError(f"unknown fleet tag {tag!r}")
+
+
+def build_fleet_streaming_workload(workload_name: str) -> StreamingWorkload:
+    """The fleet-rate streaming variant of one golden topology (jittered)."""
+    streams = []
+    for model_name, fps, frames, deadline_s in _FLEET_RATES[workload_name]:
+        period = 1.0 / fps
+        streams.append(StreamSpec(model_name=model_name, fps=fps,
+                                  frames=frames, phase_s=0.3 * period,
+                                  jitter_s=0.2 * period, seed=3,
+                                  deadline_s=deadline_s))
+    batches = build_workloads()
+    models: Dict[str, ModelGraph] = {}
+    for source in _FLEET_GRAPH_SOURCES[workload_name]:
+        batch = batches[source]
+        models.update({name: batch.model_graph(name)
+                       for name, _ in batch.entries})
+    return StreamingWorkload(name=f"{workload_name}-fleet",
+                             streams=streams, models=models)
+
+
+def fleet_scenario_keys() -> List[str]:
+    """All fleet scenario keys, in deterministic order."""
+    return [f"fleet|{workload_name}|{tag}|{policy}"
+            for workload_name in FLEET_WORKLOADS
+            for tag, policy in FLEET_MATRIX]
+
+
+def parse_fleet_key(key: str) -> Dict[str, object]:
+    prefix, workload_name, tag, policy = key.split("|")
+    assert prefix == "fleet"
+    return {"workload": workload_name, "fleet": tag, "policy": policy}
+
+
+def _repr_tree(value: object) -> object:
+    """Floats to exact ``repr`` strings, recursively (dict/list preserved)."""
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, dict):
+        return {key: _repr_tree(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_repr_tree(item) for item in value]
+    return value
+
+
+def run_fleet_scenario(key: str, cost_model: CostModel) -> Dict[str, object]:
+    """Execute one fleet scenario and return its serialized record."""
+    config = parse_fleet_key(key)
+    streaming = build_fleet_streaming_workload(config["workload"])
+    fleet = build_fleet(config["fleet"])
+    simulator = FleetSimulator(cost_model=cost_model,
+                               scheduler=HeraldScheduler(cost_model))
+    result = simulator.simulate(streaming, fleet, policy=config["policy"])
+
+    chips: List[Dict[str, object]] = []
+    for chip_result in result.chip_results:
+        entries = [] if chip_result.schedule is None else [
+            [entry.instance_id, entry.layer_index, entry.layer.name,
+             entry.sub_accelerator, repr(entry.start_cycle),
+             repr(entry.finish_cycle), repr(entry.cost.latency_cycles),
+             repr(entry.cost.energy_pj)]
+            for entry in chip_result.schedule.entries
+        ]
+        chip_record: Dict[str, object] = {
+            "chip": chip_result.chip.name,
+            "digest": timeline_digest(entries),
+            "num_entries": len(entries),
+        }
+        if config["workload"] in INLINE_WORKLOADS:
+            chip_record["entries"] = entries
+        chips.append(chip_record)
+
+    return {
+        "assignments": {f"{model}#{index}": chip
+                        for (model, index), chip
+                        in sorted(result.plan.assignments.items())},
+        "frames_per_chip": result.plan.frames_per_chip,
+        "chips": chips,
+        "report": _repr_tree(result.report.summary()),
+    }
+
+
+def generate_fleet_timelines() -> Dict[str, Dict[str, object]]:
+    """Run every fleet scenario with one shared cost model."""
+    cost_model = CostModel()
+    return {key: run_fleet_scenario(key, cost_model)
+            for key in fleet_scenario_keys()}
+
+
+# ---------------------------------------------------------------------------
 # DSE ranking golden
 # ---------------------------------------------------------------------------
 def _dse_workload() -> WorkloadSpec:
@@ -405,6 +592,7 @@ def write_golden() -> None:
         json.dump(generate_streaming_timelines(), handle, indent=1,
                   sort_keys=True)
         handle.write("\n")
+    write_fleet_golden()
 
 
 def write_streaming_golden() -> None:
@@ -417,10 +605,22 @@ def write_streaming_golden() -> None:
         handle.write("\n")
 
 
+def write_fleet_golden() -> None:
+    """(Re)generate only the fleet routing matrix."""
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    with open(FLEET_FILE, "w") as handle:
+        json.dump(generate_fleet_timelines(), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+
+
 if __name__ == "__main__":
     if "--write-streaming" in sys.argv:
         write_streaming_golden()
         print(f"wrote {STREAMING_FILE}")
+    elif "--write-fleet" in sys.argv:
+        write_fleet_golden()
+        print(f"wrote {FLEET_FILE}")
     elif "--write" in sys.argv:
         # The batch files pin the *seed* implementation: regenerating them
         # from current code would make the 192-scenario equivalence gate pass
@@ -431,13 +631,15 @@ if __name__ == "__main__":
         if existing and "--force" not in sys.argv:
             print("refusing to overwrite the seed-pinned batch golden files "
                   f"({', '.join(os.path.basename(p) for p in existing)}); "
-                  "use --write-streaming for the streaming matrix, or "
-                  "--write --force if you really mean to re-pin the batch "
-                  "corpus to current behaviour", file=sys.stderr)
+                  "use --write-streaming / --write-fleet for the serving "
+                  "matrices, or --write --force if you really mean to re-pin "
+                  "the batch corpus to current behaviour", file=sys.stderr)
             raise SystemExit(2)
         write_golden()
-        print(f"wrote {TIMELINES_FILE}, {DSE_FILE} and {STREAMING_FILE}")
+        print(f"wrote {TIMELINES_FILE}, {DSE_FILE}, {STREAMING_FILE} "
+              f"and {FLEET_FILE}")
     else:
         print("usage: python tests/golden_scheduler.py "
-              "--write [--force] | --write-streaming", file=sys.stderr)
+              "--write [--force] | --write-streaming | --write-fleet",
+              file=sys.stderr)
         raise SystemExit(2)

@@ -8,6 +8,7 @@ from repro.analysis.metrics import (
     edp,
     gain_table,
     geometric_mean,
+    imbalance,
     percent_improvement,
     percent_overhead,
     percentile,
@@ -87,6 +88,17 @@ class TestPercentile:
         for q in (0.0, 37.5, 50.0, 99.0, 100.0):
             assert percentile([42.0], q) == pytest.approx(42.0)
 
+    def test_single_sample_is_returned_exactly(self):
+        """Pin the single-element contract precisely: the sample itself comes
+        back (bitwise — no interpolation arithmetic touches it), for every
+        ``q`` including both boundaries.  Fleet and stream reports rely on
+        this for one-frame streams, where any rounding would perturb golden
+        comparisons."""
+        sample = 0.1 + 0.2  # an unrepresentable-looking float, kept verbatim
+        for q in (0.0, 1e-9, 50.0, 100.0):
+            assert percentile([sample], q) == sample
+        assert percentile(iter([sample]), 99.0) == sample
+
     def test_empty_sequence_rejected(self):
         with pytest.raises(ValueError):
             percentile([], 50.0)
@@ -121,6 +133,45 @@ class TestDeadlineMissRate:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
             deadline_miss_rate([1.0, 2.0], [1.0])
+
+    def test_empty_deadline_map_with_latencies_rejected(self):
+        """Pin the empty-deadline-sequence contract: silently treating it as
+        "no deadlines" would hide a caller bug (frames exist but none were
+        given a bound), so it must be the length-mismatch error — with the
+        counts in the message."""
+        with pytest.raises(ValueError, match="2 latencies but 0 deadlines"):
+            deadline_miss_rate([1.0, 2.0], [])
+
+    def test_empty_latencies_ignore_deadline_shape(self):
+        """The dual edge: zero frames miss nothing, whatever the deadline
+        argument looks like (scalar, empty, even a generator)."""
+        assert deadline_miss_rate([], 0.0) == 0.0
+        assert deadline_miss_rate([], iter([])) == 0.0
+
+
+class TestImbalance:
+    def test_ratio_of_extremes(self):
+        assert imbalance([2.0, 4.0, 8.0]) == pytest.approx(4.0)
+
+    def test_balanced_input_is_one(self):
+        assert imbalance([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_idle_member_is_infinite(self):
+        assert imbalance([0.0, 5.0]) == float("inf")
+
+    def test_all_idle_is_balanced(self):
+        assert imbalance([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            imbalance([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            imbalance([1.0, -0.5])
+
+    def test_accepts_generators(self):
+        assert imbalance(x for x in (1.0, 2.0)) == pytest.approx(2.0)
 
 
 class TestPareto:

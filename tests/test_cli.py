@@ -87,6 +87,65 @@ class TestServe:
         assert main(args) == 0
         assert capsys.readouterr().out == first
 
+    def test_serve_sustained_search_knobs_are_honoured(self, capsys):
+        assert main(["serve", "--workload", "arvr-a", "--chip", "cloud",
+                     "--design", "fda-nvdla", "--frames", "1",
+                     "--sustained-lo", "0.001", "--sustained-hi", "4",
+                     "--sustained-probes", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "sustained FPS" in output
+        if "none" not in output:
+            # 2 bisection probes + 2 bracket probes at most.
+            assert any(f"{count} probes" in output for count in (1, 2, 3, 4))
+
+    def test_serve_rejects_inverted_sustained_brackets(self, capsys):
+        assert main(["serve", "--workload", "arvr-a", "--chip", "cloud",
+                     "--design", "fda-nvdla", "--frames", "1",
+                     "--sustained-lo", "4", "--sustained-hi", "2"]) == 2
+        captured = capsys.readouterr()
+        assert "--sustained-lo" in captured.err
+        # The bracket error must fire before any simulation work (no report
+        # output precedes it).
+        assert captured.out == ""
+
+
+class TestFleet:
+    def test_fleet_reports_per_chip_rows(self, capsys):
+        assert main(["fleet", "--workload", "arvr-a", "--chip", "edge",
+                     "--design", "fda-nvdla", "--chips", "2",
+                     "--policy", "round-robin", "--frames", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Fleet report" in output
+        assert "fda-nvdla-edge[0]" in output
+        assert "fda-nvdla-edge[1]" in output
+        for column in ("util", "p99", "miss", "backlog"):
+            assert column in output
+
+    def test_fleet_jobs_match_serial(self, capsys):
+        base = ["fleet", "--workload", "arvr-a", "--chip", "edge",
+                "--design", "fda-nvdla", "--chips", "2",
+                "--policy", "earliest-completion", "--frames", "1"]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "process pool (2 jobs)" in parallel
+        serial_rows = [line for line in serial.splitlines()
+                       if "Fleet report" in line or "util" in line]
+        parallel_rows = [line for line in parallel.splitlines()
+                         if "Fleet report" in line or "util" in line]
+        assert serial_rows == parallel_rows
+
+    def test_fleet_min_chips_search(self, capsys):
+        assert main(["fleet", "--workload", "arvr-a", "--chip", "cloud",
+                     "--design", "fda-nvdla", "--chips", "1",
+                     "--frames", "1", "--min-chips", "--max-chips", "2"]) == 0
+        assert "min chips for SLA" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--policy", "coin-flip"])
+
 
 class TestParser:
     def test_missing_command_exits(self):
@@ -113,6 +172,19 @@ class TestParser:
         (["serve", "--fps-scale", "0"], "--fps-scale: must be > 0.0 (got 0.0)"),
         (["serve", "--jitter-ms", "-1"],
          "--jitter-ms: must be >= 0.0 (got -1.0)"),
+        (["serve", "--sustained-lo", "0"],
+         "--sustained-lo: must be > 0.0 (got 0.0)"),
+        (["serve", "--sustained-probes", "0"],
+         "--sustained-probes: must be an integer >= 1 (got 0)"),
+        (["serve", "--sustained-tolerance", "-0.5"],
+         "--sustained-tolerance: must be >= 0.0 (got -0.5)"),
+        (["fleet", "--chips", "0"],
+         "--chips: must be an integer >= 1 (got 0)"),
+        (["fleet", "--jobs", "0"], "--jobs: must be an integer >= 1 (got 0)"),
+        (["fleet", "--max-chips", "0"],
+         "--max-chips: must be an integer >= 1 (got 0)"),
+        (["fleet", "--fps-scale", "-1"],
+         "--fps-scale: must be > 0.0 (got -1.0)"),
         (["dse", "--jobs", "two"], "--jobs: expected an integer, got 'two'"),
     ])
     def test_bad_numeric_arguments_rejected_in_parser(self, argv, message,

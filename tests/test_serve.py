@@ -412,6 +412,80 @@ class TestSustainedFps:
                                         accs).report
             assert report.meets_sla
 
+    def test_probe_budget_is_exposed_not_hard_coded(self, cost_model, accs):
+        """The probe count is a caller decision: ``iterations`` bounds the
+        bisection exactly (bracket probes + at most ``iterations`` more)."""
+        streaming = _mini_streaming()
+        simulator = ServingSimulator(HeraldScheduler(cost_model))
+        for iterations in (1, 3):
+            result = sustained_fps(simulator, streaming, accs, lo=1e-4,
+                                   hi=64.0, iterations=iterations)
+            assert result.evaluations <= 2 + iterations
+
+    def test_tolerance_stops_the_bisection_early(self, cost_model, accs):
+        streaming = _mini_streaming()
+        simulator = ServingSimulator(HeraldScheduler(cost_model))
+        exhaustive = sustained_fps(simulator, streaming, accs, lo=1e-4,
+                                   hi=64.0, iterations=10)
+        coarse = sustained_fps(simulator, streaming, accs, lo=1e-4, hi=64.0,
+                               iterations=10, tolerance=32.0)
+        if 0.0 < exhaustive.factor < 64.0:
+            # A bracket as wide as the tolerance stops immediately after the
+            # bracket probes plus at most the probes needed to shrink to it.
+            assert coarse.evaluations < exhaustive.evaluations
+            # The early stop still returns a feasible operating point.
+            report = simulator.simulate(streaming.scaled(coarse.factor),
+                                        accs).report
+            assert report.meets_sla
+
+    def test_already_sustained_skips_the_bisection(self, cost_model, accs):
+        """Edge: feasible at the upper bracket — exactly two probes run."""
+        neta, _ = _mini_models()
+        streaming = StreamingWorkload("easy2", streams=[
+            StreamSpec("neta", fps=0.25, frames=2)], models={"neta": neta})
+        simulator = ServingSimulator(HeraldScheduler(cost_model))
+        result = sustained_fps(simulator, streaming, accs, lo=0.5, hi=2.0,
+                               iterations=8)
+        assert result.factor == pytest.approx(2.0)
+        assert result.evaluations == 2
+
+    def test_all_missed_stops_after_one_probe(self, cost_model, accs):
+        """Edge: infeasible at the lower bracket — one probe, zero rates."""
+        neta, _ = _mini_models()
+        streaming = StreamingWorkload("hard2", streams=[
+            StreamSpec("neta", fps=1e7, frames=3)], models={"neta": neta})
+        simulator = ServingSimulator(HeraldScheduler(cost_model))
+        result = sustained_fps(simulator, streaming, accs, lo=1.0, hi=2.0,
+                               iterations=8)
+        assert result.factor == 0.0
+        assert result.evaluations == 1
+        assert "none" in result.describe()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(lo=0.0, hi=1.0),
+        dict(lo=2.0, hi=1.0),
+        dict(lo=-1.0, hi=1.0),
+        dict(iterations=0),
+        dict(tolerance=-0.1),
+    ])
+    def test_invalid_search_parameters_rejected(self, cost_model, accs,
+                                                kwargs):
+        streaming = _mini_streaming()
+        simulator = ServingSimulator(HeraldScheduler(cost_model))
+        with pytest.raises(ValueError):
+            sustained_fps(simulator, streaming, accs, **kwargs)
+
+    def test_zero_frame_report_meets_sla(self):
+        """Edge: a report over zero frames (no streams simulated) misses
+        nothing — the degenerate fixed point the searches bottom out on."""
+        from repro.serve import ServingReport
+
+        report = ServingReport(workload_name="empty", clock_hz=1e9)
+        assert report.total_frames == 0
+        assert report.deadline_miss_rate == 0.0
+        assert report.meets_sla
+        assert report.p99_latency_s == 0.0
+
 
 # ---------------------------------------------------------------------------
 # SLA objective in the search stack
