@@ -72,12 +72,15 @@ from repro.models.graph import ModelGraph
 from repro.models.layer import conv2d, pwconv
 from repro.accel.design import AcceleratorDesign, AcceleratorKind
 from repro.serve import (
+    ChipFailure,
+    FaultSpec,
     Fleet,
     FleetSimulator,
     FrameCostEstimator,
     Router,
     ServingSimulator,
     streaming_suite,
+    traffic_suite,
 )
 from repro.units import BYTES_PER_ELEMENT, gbps, mib
 from repro.workloads.spec import WorkloadSpec
@@ -730,6 +733,84 @@ def bench_fleet(quick: bool) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Section 7: closed-loop (feedback) serving
+# ---------------------------------------------------------------------------
+
+def bench_closed_loop(quick: bool) -> Dict[str, object]:
+    """Closed-loop engine cost over the a-priori planner, plus its gate.
+
+    The feedback loop pays for what the planner skips: per-chip service
+    probes (one scheduler run per distinct (chip, model)) and the global
+    event heap.  This section measures end-to-end ``simulate_online`` under
+    Poisson traffic at 2 / 4 chips against the a-priori ``simulate`` of the
+    same workload, times a chip-death recovery run, and — as the gate
+    ``--check`` enforces — asserts the feedback-disabled loop reproduces the
+    a-priori dispatcher exactly (assignments and report summary), the
+    same equivalence the golden corpus pins per scenario.
+    """
+    streaming = streaming_suite("arvr-a", frames=1 if quick else 2)
+    traffic = traffic_suite("arvr-a", "poisson", frames=1 if quick else 2)
+    chip = ACCELERATOR_CLASSES["edge"]
+    design = AcceleratorDesign(name="edge-duo", kind=AcceleratorKind.HDA,
+                               chip=chip,
+                               sub_accelerators=_two_way_split(chip))
+    model = CostModel()
+    scheduler = HeraldScheduler(model)
+    simulator = FleetSimulator(cost_model=model, scheduler=scheduler)
+    repeats = 3 if quick else 10
+
+    fleet2 = Fleet.homogeneous(design, 2)
+    apriori = simulator.simulate(streaming, fleet2,
+                                 policy="earliest-completion")
+    reduced = simulator.simulate_online(streaming, fleet2,
+                                        policy="earliest-completion",
+                                        feedback=False)
+    online_matches_apriori = (
+        reduced.plan_result is not None
+        and reduced.plan_result.plan.assignments == apriori.plan.assignments
+        and reduced.plan_result.report.summary() == apriori.report.summary())
+
+    sizes = [2, 4]
+    apriori_s: List[float] = []
+    online_s: List[float] = []
+    for size in sizes:
+        fleet = Fleet.homogeneous(design, size)
+        simulator.simulate(streaming, fleet, policy="earliest-completion")
+        simulator.simulate_online(traffic, fleet,
+                                  policy="earliest-completion")
+        elapsed, _ = _timed(lambda: [
+            simulator.simulate(traffic, fleet, policy="earliest-completion")
+            for _ in range(repeats)])
+        apriori_s.append(elapsed / repeats)
+        elapsed, _ = _timed(lambda: [
+            simulator.simulate_online(traffic, fleet,
+                                      policy="earliest-completion")
+            for _ in range(repeats)])
+        online_s.append(elapsed / repeats)
+
+    # Fault recovery: chip 0 dies a quarter of the way into the trace.
+    horizon = max(release for stream in traffic.streams
+                  for release in stream.release_times_s())
+    fault_s, recovery = _timed(lambda: simulator.simulate_online(
+        traffic, fleet2, policy="earliest-completion",
+        faults=FaultSpec(failures=(ChipFailure(0, 0.25 * horizon),))))
+
+    return {
+        "workload": traffic.name,
+        "frames": traffic.total_frames,
+        "repeats": repeats,
+        "sizes": sizes,
+        "apriori_s": apriori_s,
+        "online_s": online_s,
+        "online_overhead": [o / a for o, a in zip(online_s, apriori_s)],
+        "fault_recovery_s": fault_s,
+        "fault_redispatched": recovery.stats.redispatched_frames,
+        "fault_lost": len(recovery.stats.lost_frame_ids),
+        "online_matches_apriori": online_matches_apriori,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -745,7 +826,8 @@ def run_all(quick: bool) -> Dict[str, object]:
                           ("warm_scheduling", bench_warm_scheduling),
                           ("explore", bench_explore),
                           ("serving", bench_serving),
-                          ("fleet", bench_fleet)):
+                          ("fleet", bench_fleet),
+                          ("closed_loop", bench_closed_loop)):
         print(f"[bench_hot_paths] running {name} ...", flush=True)
         results[name] = section(quick)
         print(f"[bench_hot_paths]   {json.dumps(results[name])}")
@@ -779,6 +861,9 @@ def check_against_baseline(results: Dict[str, object],
     if not results["fleet"]["single_chip_identical"]:
         failures.append("the single-chip passthrough fleet diverged from the "
                         "bare serving simulator")
+    if not results["closed_loop"]["online_matches_apriori"]:
+        failures.append("the feedback-disabled online loop diverged from the "
+                        "a-priori dispatcher")
     return failures
 
 

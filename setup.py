@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="herald-repro",
-    version="1.4.0",
+    version="1.5.0",
     description=("Reproduction of 'Heterogeneous Dataflow Accelerators for "
                  "Multi-DNN Workloads' (HPCA 2021): Herald's scheduler, "
                  "hardware partitioner, and co-design-space exploration"),

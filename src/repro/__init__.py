@@ -94,7 +94,7 @@ from repro.serve import (
 )
 from repro.analysis import pareto_front, percent_improvement
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

@@ -109,6 +109,56 @@ def deadline_miss_rate(latencies: Iterable[float],
     return missed / len(observed)
 
 
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Standard deviation over mean (population form) of positive samples.
+
+    The standard burstiness statistic of an arrival process: the
+    inter-arrival gaps of a Poisson process have CV ~= 1, a strictly
+    periodic trace has CV 0, and Markov-modulated (bursty) traffic pushes
+    the CV above 1.  The traffic generators' tests pin those regimes.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or its mean is not positive.
+    """
+    samples: List[float] = list(values)
+    if not samples:
+        raise ValueError("cannot take the CV of an empty sequence")
+    mean = sum(samples) / len(samples)
+    if mean <= 0.0:
+        raise ValueError("coefficient of variation requires a positive mean")
+    variance = sum((sample - mean) ** 2 for sample in samples) / len(samples)
+    return math.sqrt(variance) / mean
+
+
+def interval_counts(times: Iterable[float], interval_s: float,
+                    horizon_s: float) -> List[int]:
+    """Events per ``interval_s`` bucket over ``[0, horizon_s)``.
+
+    The per-interval load view the autoscaling controller reports against:
+    bucket ``k`` counts the events with ``k * interval_s <= t <
+    (k + 1) * interval_s``.  Events at or past ``horizon_s`` land in the last
+    bucket (the horizon is a reporting boundary, not a filter).
+
+    Raises
+    ------
+    ValueError
+        If ``interval_s`` or ``horizon_s`` is not positive, or an event time
+        is negative.
+    """
+    if interval_s <= 0.0:
+        raise ValueError(f"interval_s must be positive (got {interval_s})")
+    if horizon_s <= 0.0:
+        raise ValueError(f"horizon_s must be positive (got {horizon_s})")
+    buckets = [0] * max(1, math.ceil(horizon_s / interval_s))
+    for time in times:
+        if time < 0.0:
+            raise ValueError(f"event times must be >= 0 (got {time})")
+        buckets[min(int(time / interval_s), len(buckets) - 1)] += 1
+    return buckets
+
+
 def imbalance(values: Iterable[float]) -> float:
     """Largest value divided by the smallest (a load-unbalancing factor).
 

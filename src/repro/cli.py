@@ -39,14 +39,20 @@ from repro.core.partitioner import PartitionSearch
 from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
 from repro.exec import PersistentCostCache, ProcessPoolBackend, SerialBackend
 from repro.maestro import CostModel
+from repro.exceptions import SearchError, WorkloadError
 from repro.serve import (
     DISPATCH_POLICY_NAMES,
+    TRAFFIC_KINDS,
+    AutoscalePolicy,
     Fleet,
     FleetSimulator,
     ServingSimulator,
+    merge_fault_specs,
     min_chips_for_sla,
+    parse_fault_clause,
     streaming_suite,
     sustained_fps,
+    traffic_suite,
 )
 from repro.workloads import workload_by_name
 from repro.workloads.suites import WORKLOAD_SUITES
@@ -88,6 +94,14 @@ def _float_at_least(minimum: float, exclusive: bool = False) -> Callable[[str], 
         return value
 
     return parse
+
+
+def _fault_clause(text: str):
+    """Parser type: a ``die:CHIP@T`` / ``slow:CHIP@T0-T1xF`` fault clause."""
+    try:
+        return parse_fault_clause(text)
+    except WorkloadError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -184,6 +198,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "serving with zero deadline misses")
     fleet.add_argument("--max-chips", type=_int_at_least(1), default=8,
                        help="upper bracket of the --min-chips bisection")
+    fleet.add_argument("--online", action="store_true",
+                       help="serve through the closed-loop event engine "
+                            "(feedback dispatch on observed queues) instead "
+                            "of the a-priori planner")
+    fleet.add_argument("--traffic", default=None, choices=TRAFFIC_KINDS,
+                       help="replace the periodic arrival trace with a "
+                            "seeded stochastic process at the same mean "
+                            "rates")
+    fleet.add_argument("--fault", action="append", default=None,
+                       type=_fault_clause, metavar="CLAUSE",
+                       help="inject a fault (repeatable): 'die:CHIP@T' kills "
+                            "a chip at T seconds, 'slow:CHIP@T0-T1xF' runs "
+                            "it Fx slower during [T0, T1); needs --online")
+    fleet.add_argument("--autoscale", default=None, metavar="INTERVAL_MS",
+                       type=_float_at_least(0.0, exclusive=True),
+                       help="resize the active fleet against observed "
+                            "backlog every INTERVAL_MS milliseconds; needs "
+                            "--online")
     return parser
 
 
@@ -302,6 +334,19 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_fleet(args: argparse.Namespace) -> int:
+    # Cross-argument validation up front, before any simulation runs.
+    if args.fault and not args.online:
+        print("error: --fault requires --online (fault injection reacts to "
+              "observed state)", file=sys.stderr)
+        return 2
+    if args.autoscale is not None and not args.online:
+        print("error: --autoscale requires --online (the controller reacts "
+              "to observed backlog)", file=sys.stderr)
+        return 2
+    if args.traffic and args.jitter_ms:
+        print("error: --jitter-ms applies to the periodic trace only; "
+              "--traffic arrivals are already stochastic", file=sys.stderr)
+        return 2
     batch_workload = workload_by_name(args.workload)
     chip = accelerator_class(args.chip)
     cost_model = CostModel()
@@ -310,20 +355,52 @@ def _command_fleet(args: argparse.Namespace) -> int:
                            scheduler)
     fleet = Fleet.homogeneous(design, args.chips)
 
-    streaming = streaming_suite(args.workload, frames=args.frames,
-                                fps_scale=args.fps_scale,
-                                jitter_s=args.jitter_ms / 1e3, seed=args.seed)
+    if args.traffic:
+        streaming = traffic_suite(args.workload, args.traffic,
+                                  frames=args.frames,
+                                  fps_scale=args.fps_scale, seed=args.seed)
+    else:
+        streaming = streaming_suite(args.workload, frames=args.frames,
+                                    fps_scale=args.fps_scale,
+                                    jitter_s=args.jitter_ms / 1e3,
+                                    seed=args.seed)
     if args.jobs > 1:
         backend = ProcessPoolBackend(jobs=args.jobs, cost_model=cost_model,
                                      scheduler=scheduler)
     else:
         backend = SerialBackend(cost_model=cost_model, scheduler=scheduler)
     simulator = FleetSimulator(backend=backend)
-    result = simulator.simulate(streaming, fleet, policy=args.policy)
 
     print(fleet.describe())
     print(streaming.describe())
-    print(result.report.describe())
+    try:
+        if args.online:
+            faults = merge_fault_specs(args.fault) if args.fault else None
+            autoscale = (AutoscalePolicy(interval_s=args.autoscale / 1e3,
+                                         min_chips=1, max_chips=args.chips)
+                         if args.autoscale is not None else None)
+            online = simulator.simulate_online(streaming, fleet,
+                                               policy=args.policy,
+                                               faults=faults,
+                                               autoscale=autoscale)
+            result_report = online.report
+        else:
+            result_report = simulator.simulate(streaming, fleet,
+                                               policy=args.policy).report
+    except (SearchError, WorkloadError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result_report.describe())
+    if args.online:
+        stats = online.stats
+        print(f"closed loop: {stats.redispatched_frames} re-dispatched, "
+              f"{stats.stolen_frames} stolen, "
+              f"{len(stats.lost_frame_ids)} lost")
+        for interval in stats.intervals:
+            print(f"  autoscale [{interval.start_s * 1e3:8.3f}, "
+                  f"{interval.end_s * 1e3:8.3f}) ms: "
+                  f"{interval.pending_frames} pending, active "
+                  f"{interval.active_before} -> {interval.active_after}")
     print(f"execution backend: {backend.describe()}")
 
     if args.min_chips:

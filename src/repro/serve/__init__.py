@@ -18,7 +18,16 @@ per-model FPS targets, Table II):
 * :mod:`repro.serve.fleet` — :class:`Fleet` / :class:`FleetSimulator` /
   :class:`FleetReport` (N chips behind the router, per-chip reports pooled
   into fleet-wide percentiles) and :func:`min_chips_for_sla` (the fleet-size
-  analogue of the sustained-FPS search).
+  analogue of the sustained-FPS search);
+* :mod:`repro.serve.traffic` — deterministic seeded arrival processes
+  (Poisson, bursty/MMPP, diurnal ramp, stream churn) compiling into
+  :class:`FrameTrace` streams (:class:`TrafficSpec`, :func:`traffic_suite`);
+* :mod:`repro.serve.faults` — declarative chip death / slowdown injection
+  (:class:`FaultSpec`) consumed by the closed loop;
+* :mod:`repro.serve.online` — the closed-loop event engine behind
+  :meth:`FleetSimulator.simulate_online`: feedback dispatch on observed
+  queues, re-dispatch from dead chips, work stealing, and the
+  :class:`AutoscalePolicy` per-interval controller.
 """
 
 from repro.serve.trace import FrameTrace, StreamSpec
@@ -57,6 +66,26 @@ from repro.serve.fleet import (
     MinChipsResult,
     min_chips_for_sla,
 )
+from repro.serve.traffic import (
+    TRAFFIC_KINDS,
+    TrafficSpec,
+    traffic_suite,
+    traffic_workload,
+)
+from repro.serve.faults import (
+    ChipFailure,
+    FaultSpec,
+    SlowdownWindow,
+    merge_fault_specs,
+    parse_fault_clause,
+)
+from repro.serve.online import (
+    AutoscaleInterval,
+    AutoscalePolicy,
+    OnlineFleetResult,
+    OnlineFrameRecord,
+    OnlineStats,
+)
 
 __all__ = [
     "StreamSpec",
@@ -88,4 +117,18 @@ __all__ = [
     "ChipServingResult",
     "MinChipsResult",
     "min_chips_for_sla",
+    "TrafficSpec",
+    "traffic_suite",
+    "traffic_workload",
+    "TRAFFIC_KINDS",
+    "ChipFailure",
+    "SlowdownWindow",
+    "FaultSpec",
+    "parse_fault_clause",
+    "merge_fault_specs",
+    "AutoscalePolicy",
+    "AutoscaleInterval",
+    "OnlineStats",
+    "OnlineFrameRecord",
+    "OnlineFleetResult",
 ]

@@ -46,6 +46,7 @@ from repro.serve.router import (
     DispatchPolicy,
     FrameCostEstimator,
     Router,
+    _build_chip_workloads,
 )
 from repro.serve.simulator import (
     DEFAULT_DROP_DEADLINE_FACTOR,
@@ -155,6 +156,9 @@ class FleetReport:
     frame_latencies_s: Dict[str, float] = field(default_factory=dict)
     missed_frame_ids: Tuple[str, ...] = ()
     horizon_s: float = 0.0
+    #: Closed-loop bookkeeping (:class:`repro.serve.online.OnlineStats`);
+    #: ``None`` on a-priori reports, whose summaries are unchanged.
+    online: Optional["OnlineStats"] = None  # noqa: F821
 
     @property
     def total_frames(self) -> int:
@@ -231,8 +235,12 @@ class FleetReport:
         return value
 
     def summary(self) -> Dict[str, object]:
-        """Report as a strict-JSON-serializable dictionary."""
-        return {
+        """Report as a strict-JSON-serializable dictionary.
+
+        The ``online`` key appears only on closed-loop reports, so a-priori
+        summaries (and the golden corpus pinning them) are unchanged.
+        """
+        summary: Dict[str, object] = {
             "fleet": self.fleet_name,
             "workload": self.workload_name,
             "policy": self.policy,
@@ -250,6 +258,9 @@ class FleetReport:
             "horizon_s": self.horizon_s,
             "chips": [stats.summary() for stats in self.chips],
         }
+        if self.online is not None:
+            summary["online"] = self.online.summary()
+        return summary
 
     def describe(self) -> str:
         """Multi-line report (the CLI output body)."""
@@ -378,7 +389,16 @@ class FleetSimulator:
         """Route the workload over the fleet and aggregate the SLA report."""
         router = Router(policy, estimator=self.estimator)
         plan = router.dispatch(streaming, fleet.chips)
+        return self._simulate_plan(streaming, fleet, plan)
 
+    def _simulate_plan(self, streaming: StreamingWorkload, fleet: Fleet,
+                       plan: DispatchPlan) -> FleetResult:
+        """Simulate an already-routed dispatch plan chip by chip.
+
+        Shared by the a-priori path and the reduced (feedback-disabled)
+        online regime, so both produce layer-accurate per-chip schedules
+        through identical code.
+        """
         tasks = [
             EvaluationTask(task_id=index, design=chip, workload=workload,
                            category="fleet-chip")
@@ -417,6 +437,84 @@ class FleetSimulator:
         report = self._aggregate(streaming, fleet, plan, chip_results)
         return FleetResult(report=report, plan=plan,
                            chip_results=tuple(chip_results))
+
+    def simulate_online(self, streaming: StreamingWorkload, fleet: Fleet,
+                        policy: Union[str, DispatchPolicy] = "round-robin",
+                        *, feedback: bool = True,
+                        faults: Optional["FaultSpec"] = None,  # noqa: F821
+                        autoscale: Optional["AutoscalePolicy"] = None,  # noqa: F821
+                        work_stealing: bool = True) -> "OnlineFleetResult":  # noqa: F821
+        """Serve the workload through the closed-loop event engine.
+
+        Two regimes:
+
+        * ``feedback=False`` — the reduced regime: the event loop dispatches
+          at arrival instants against the *estimate* ledger (no faults, no
+          autoscaling, no stealing allowed), compiles the loop's decisions
+          into an ordinary dispatch plan, and simulates it layer-accurately
+          through :meth:`_simulate_plan`.  The result must be bit-for-bit
+          identical to :meth:`simulate` under the same policy — the
+          equivalence the golden corpus pins.
+        * ``feedback=True`` — the closed loop proper: chips are simulated
+          as frame-serial queue servers with *measured* service times,
+          dispatch reacts to observed queues and completions, dead chips'
+          frames are re-dispatched, idle chips steal from backlogged ones
+          (``work_stealing``), and an optional
+          :class:`~repro.serve.online.AutoscalePolicy` resizes the active
+          fleet per interval.
+        """
+        from repro.serve.online import (
+            OnlineEngine,
+            OnlineFleetResult,
+            OnlineStats,
+            build_online_result,
+            estimate_dispatch,
+            measured_service_tables,
+        )
+        from repro.serve.router import arrival_order, policy_by_name
+
+        policy_obj = (policy_by_name(policy) if isinstance(policy, str)
+                      else policy)
+        frames = arrival_order(streaming)
+        if not feedback:
+            if (faults is not None and faults) or autoscale is not None:
+                raise WorkloadError(
+                    "fault injection and autoscaling react to observed "
+                    "state; they require feedback=True")
+            tables = self.estimator.service_table(streaming, fleet.chips)
+            assignments = estimate_dispatch(policy_obj, frames, tables)
+            workloads, frame_maps = _build_chip_workloads(
+                streaming, assignments, fleet.num_chips)
+            plan = DispatchPlan(policy=policy_obj.name,
+                                assignments=assignments,
+                                chip_workloads=workloads,
+                                frame_maps=frame_maps)
+            plan_result = self._simulate_plan(streaming, fleet, plan)
+            stats = OnlineStats(feedback=False, work_stealing=False,
+                                redispatched_frames=0, stolen_frames=0)
+            return OnlineFleetResult(report=plan_result.report,
+                                     assignments=dict(assignments),
+                                     frames=(), stats=stats,
+                                     plan_result=plan_result)
+
+        tables = measured_service_tables(streaming, fleet.chips,
+                                         self.backend, self.estimator)
+        engine = OnlineEngine(policy=policy_obj, frames=frames,
+                              service_tables=tables, faults=faults,
+                              autoscale=autoscale,
+                              work_stealing=work_stealing)
+        outcome = engine.run()
+        stats = OnlineStats(
+            feedback=True,
+            work_stealing=work_stealing,
+            redispatched_frames=outcome.redispatched_frames,
+            stolen_frames=outcome.stolen_frames,
+            lost_frame_ids=tuple(sorted(outcome.lost_frame_ids)),
+            intervals=tuple(outcome.intervals),
+        )
+        return build_online_result(streaming, fleet, policy_obj.name,
+                                   outcome, stats,
+                                   self.drop_deadline_factor)
 
     # ------------------------------------------------------------------
     # Aggregation

@@ -8,11 +8,21 @@ multi-DNN AR/VR streams).  This module owns the dispatch decision only —
 :mod:`repro.serve.fleet` owns running the per-chip simulations and
 aggregating their reports.
 
-Dispatch is deterministic and *a-priori*: the router sees the arrival trace
-(release times) and per-frame service-time **estimates** from the shape-keyed
-:class:`~repro.maestro.cost.CostModel`, never the simulated outcome, exactly
-like a real front-end that routes on load predictions.  Four policies ship,
-plus the degenerate passthrough:
+Every policy is written as an *incremental* decision procedure — a
+:meth:`~DispatchPolicy.begin` over the full trace followed by one
+:meth:`~DispatchPolicy.choose` call per frame against a *fleet view* — so
+the same policy object drives both dispatch regimes:
+
+* **a-priori** (this module): :meth:`~DispatchPolicy.assign` feeds the
+  policy an :class:`EstimateView` whose per-chip state is the estimated
+  drain instant of everything dispatched so far, from the shape-keyed
+  :class:`~repro.maestro.cost.CostModel` — never the simulated outcome,
+  exactly like a real front-end routing on load predictions;
+* **closed-loop** (:mod:`repro.serve.online`): the event loop feeds the
+  policy an observed view backed by simulated chip queues, completions and
+  faults — same decisions, measured state.
+
+Four policies ship, plus the degenerate passthrough:
 
 * ``passthrough``    — everything to chip 0 (the single-chip identity: a
   one-chip fleet must be bit-for-bit today's single-chip simulator);
@@ -37,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.accel.design import AcceleratorDesign
-from repro.exceptions import WorkloadError
+from repro.exceptions import SearchError, WorkloadError
 from repro.maestro.cost import CostModel
 from repro.serve.trace import FrameTrace
 from repro.serve.workload import StreamingWorkload
@@ -108,113 +118,193 @@ class FrameCostEstimator:
 
 
 # ---------------------------------------------------------------------------
+# Fleet views
+# ---------------------------------------------------------------------------
+class EstimateView:
+    """The a-priori router's fleet state: estimated drain instants per chip.
+
+    Policies never touch router state directly; they query a *view* — this
+    one for offline planning, :class:`repro.serve.online.ObservedView` for
+    the closed loop — through a fixed protocol:
+
+    * :meth:`alive_chips` — dispatchable chip indices, ascending;
+    * :meth:`outstanding_s` — seconds of unfinished work a frame arriving
+      now would queue behind on a chip;
+    * :meth:`completion_s` — the instant that chip would finish one frame of
+      a model dispatched now (backlog drain plus the frame's own service);
+    * :meth:`service_s` — the per-frame service time of a model on a chip;
+    * :meth:`commit` — record a dispatch decision into the view's state.
+
+    Here every chip is permanently alive and ``available_at[c]`` is the
+    estimated instant chip ``c``'s dispatched-but-unfinished work drains,
+    advanced by the *estimated* service time on every commit — exactly the
+    arithmetic the original one-shot policies used, so routing decisions are
+    bit-for-bit unchanged by the incremental refactor.
+    """
+
+    def __init__(self, service_tables: Sequence[Dict[str, float]]) -> None:
+        self.service_tables = list(service_tables)
+        self.available_at = [0.0] * len(self.service_tables)
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.service_tables)
+
+    def alive_chips(self) -> List[int]:
+        """Chips a frame may be dispatched to (all of them, a-priori)."""
+        return list(range(self.num_chips))
+
+    def service_s(self, chip_index: int, model_name: str) -> float:
+        """Per-frame service seconds of ``model_name`` on chip ``chip_index``."""
+        return self.service_tables[chip_index][model_name]
+
+    def outstanding_s(self, chip_index: int, now_s: float) -> float:
+        """Unfinished work (seconds) queued on a chip as seen at ``now_s``."""
+        return max(0.0, self.available_at[chip_index] - now_s)
+
+    def completion_s(self, chip_index: int, model_name: str,
+                     now_s: float) -> float:
+        """Estimated finish instant of one ``model_name`` frame sent now."""
+        return (max(self.available_at[chip_index], now_s)
+                + self.service_tables[chip_index][model_name])
+
+    def commit(self, frame: FrameRef, chip_index: int) -> None:
+        """Record that ``frame`` was dispatched to ``chip_index``."""
+        self.available_at[chip_index] = self.completion_s(
+            chip_index, frame.model_name, frame.release_s)
+
+
+# ---------------------------------------------------------------------------
 # Policies
 # ---------------------------------------------------------------------------
 class DispatchPolicy:
-    """Base class of routing policies: order frames, pick a chip for each.
+    """Base class of routing policies: one incremental choice per frame.
 
-    ``assign`` receives the frames in global arrival order (release time,
-    then stream position, then frame index — a deterministic total order even
-    under jitter ties) together with the per-chip service-time tables, and
-    returns one chip index per frame, aligned with ``frames``.
+    Subclasses implement :meth:`choose` (pick a chip for one frame given a
+    fleet view) and optionally :meth:`begin` (reset per-run state and
+    observe the full trace — ``sticky`` plans its stream placement here).
+    :meth:`assign` is the a-priori driver: it walks the frames in global
+    arrival order (release time, then stream position, then frame index — a
+    deterministic total order even under jitter ties) against an
+    :class:`EstimateView` and returns one chip index per frame, aligned with
+    ``frames``.  The closed-loop engine calls :meth:`begin`/:meth:`choose`
+    itself, against an observed view, at simulated dispatch instants.
     """
 
     #: Registry name; subclasses override.
     name = "abstract"
 
+    def begin(self, frames: Sequence[FrameRef],
+              service_tables: Sequence[Dict[str, float]]) -> None:
+        """Reset per-run state before the first :meth:`choose` of a run."""
+
+    def choose(self, frame: FrameRef, now_s: float,
+               view: EstimateView) -> int:
+        """Pick a chip for ``frame`` dispatched at ``now_s``.
+
+        ``view.alive_chips()`` is guaranteed non-empty; the chosen index
+        must come from it.  Policies must not mutate the view — the driver
+        commits the decision.
+        """
+        raise NotImplementedError
+
     def assign(self, frames: Sequence[FrameRef],
                service_tables: Sequence[Dict[str, float]]) -> List[int]:
-        raise NotImplementedError
+        view = EstimateView(service_tables)
+        self.begin(frames, service_tables)
+        choices: List[int] = []
+        for frame in frames:
+            chip = self.choose(frame, frame.release_s, view)
+            view.commit(frame, chip)
+            choices.append(chip)
+        return choices
 
 
 class PassthroughPolicy(DispatchPolicy):
-    """Everything to chip 0 — the single-chip identity routing."""
+    """Everything to the first live chip — the single-chip identity routing."""
 
     name = "passthrough"
 
-    def assign(self, frames, service_tables):
-        return [0] * len(frames)
+    def choose(self, frame, now_s, view):
+        return view.alive_chips()[0]
 
 
 class RoundRobinPolicy(DispatchPolicy):
-    """Frames cycle over the chips in arrival order, blind to load."""
+    """Frames cycle over the live chips in dispatch order, blind to load."""
 
     name = "round-robin"
 
-    def assign(self, frames, service_tables):
-        chips = len(service_tables)
-        return [position % chips for position in range(len(frames))]
+    def __init__(self) -> None:
+        self._position = 0
+
+    def begin(self, frames, service_tables):
+        self._position = 0
+
+    def choose(self, frame, now_s, view):
+        alive = view.alive_chips()
+        chip = alive[self._position % len(alive)]
+        self._position += 1
+        return chip
 
 
 class LeastOutstandingPolicy(DispatchPolicy):
-    """Each frame to the chip with the least estimated outstanding work.
+    """Each frame to the live chip with the least outstanding work.
 
-    The router tracks, per chip, the instant its dispatched-but-unfinished
-    work is estimated to drain (``available_at``).  A frame released at ``t``
-    sees ``max(0, available_at - t)`` outstanding seconds on each chip and
-    picks the minimum — the classic least-outstanding-requests balancer,
-    measured in estimated work rather than request counts so heavy and light
-    models mix fairly.
+    A frame dispatched at ``t`` sees ``view.outstanding_s(chip, t)`` queued
+    seconds on each chip and picks the minimum — the classic
+    least-outstanding-requests balancer, measured in work rather than
+    request counts so heavy and light models mix fairly.  A-priori the
+    outstanding work is the estimate ledger; in the closed loop it is the
+    observed queue depth.
     """
 
     name = "least-outstanding"
 
-    def assign(self, frames, service_tables):
-        available_at = [0.0] * len(service_tables)
-        choices: List[int] = []
-        for frame in frames:
-            chip = min(
-                range(len(service_tables)),
-                key=lambda index: (max(0.0, available_at[index] - frame.release_s),
-                                   index))
-            available_at[chip] = (max(available_at[chip], frame.release_s)
-                                  + service_tables[chip][frame.model_name])
-            choices.append(chip)
-        return choices
+    def choose(self, frame, now_s, view):
+        return min(view.alive_chips(),
+                   key=lambda index: (view.outstanding_s(index, now_s), index))
 
 
 class EarliestCompletionPolicy(DispatchPolicy):
-    """SLA-aware: each frame to the chip estimated to *finish* it first.
+    """SLA-aware: each frame to the live chip expected to *finish* it first.
 
-    Completion on chip ``c`` is ``max(available_at[c], release) +
-    service(model, c)`` — backlog drain plus this frame's service time on
-    that chip's arrays.  Unlike ``least-outstanding`` the frame's own cost
-    participates, so on a heterogeneous fleet a busier-but-faster chip wins
-    when it still completes the frame earlier; minimising per-frame completion
-    is exactly minimising the term the deadline is written against.
+    Completion on chip ``c`` is backlog drain plus this frame's service time
+    on that chip's arrays.  Unlike ``least-outstanding`` the frame's own
+    cost participates, so on a heterogeneous fleet a busier-but-faster chip
+    wins when it still completes the frame earlier; minimising per-frame
+    completion is exactly minimising the term the deadline is written
+    against.
     """
 
     name = "earliest-completion"
 
-    def assign(self, frames, service_tables):
-        available_at = [0.0] * len(service_tables)
-        choices: List[int] = []
-        for frame in frames:
-            def completion(index: int) -> float:
-                return (max(available_at[index], frame.release_s)
-                        + service_tables[index][frame.model_name])
-
-            chip = min(range(len(service_tables)),
-                       key=lambda index: (completion(index), index))
-            available_at[chip] = completion(chip)
-            choices.append(chip)
-        return choices
+    def choose(self, frame, now_s, view):
+        return min(
+            view.alive_chips(),
+            key=lambda index: (
+                view.completion_s(index, frame.model_name, now_s), index))
 
 
 class StickyPolicy(DispatchPolicy):
     """Per-stream affinity: all frames of one stream go to one chip.
 
-    Streams are placed before any frame flows, longest-processing-time
-    first: streams in descending total estimated load, each onto the chip
-    whose load-after-placement (existing load plus the stream's cost *on that
-    chip*) is smallest.  Affinity preserves per-stream frame order on a
-    single chip — the property stateful per-stream pipelines (trackers,
-    temporal models) need — at the price of no intra-stream spreading.
+    Streams are placed in :meth:`begin`, before any frame flows, longest-
+    processing-time first: streams in descending total estimated load, each
+    onto the chip whose load-after-placement (existing load plus the
+    stream's cost *on that chip*) is smallest.  Affinity preserves
+    per-stream frame order on a single chip — the property stateful
+    per-stream pipelines (trackers, temporal models) need — at the price of
+    no intra-stream spreading.  If a stream's home chip dies mid-run the
+    stream re-homes to the live chip with the least observed outstanding
+    work, and stays there.
     """
 
     name = "sticky"
 
-    def assign(self, frames, service_tables):
+    def __init__(self) -> None:
+        self._placement: Dict[int, int] = {}
+
+    def begin(self, frames, service_tables):
         per_stream_frames: Dict[int, int] = {}
         stream_model: Dict[int, str] = {}
         for frame in frames:
@@ -244,7 +334,17 @@ class StickyPolicy(DispatchPolicy):
                                    index))
             placement[stream_index] = chip
             load[chip] += stream_load(stream_index, chip)
-        return [placement[frame.stream_index] for frame in frames]
+        self._placement = placement
+
+    def choose(self, frame, now_s, view):
+        chip = self._placement[frame.stream_index]
+        alive = view.alive_chips()
+        if chip not in alive:
+            chip = min(alive,
+                       key=lambda index: (view.outstanding_s(index, now_s),
+                                          index))
+            self._placement[frame.stream_index] = chip
+        return chip
 
 
 #: Registry of the shipped policies, keyed by CLI-facing name.
@@ -322,7 +422,9 @@ class Router:
                  chips: Sequence[AcceleratorDesign]) -> DispatchPlan:
         """Assign every frame to a chip and build the per-chip workloads."""
         if not chips:
-            raise WorkloadError("cannot dispatch onto an empty fleet")
+            raise SearchError(
+                "cannot dispatch onto an empty fleet: no chips to route to "
+                "(the fleet has zero chips, or every chip is dead)")
         frames = arrival_order(streaming)
         service_tables = self.estimator.service_table(streaming, chips)
         choices = self.policy.assign(frames, service_tables)

@@ -42,8 +42,11 @@ from repro.maestro.cost import CostModel
 from repro.maestro.hardware import ChipConfig, SubAcceleratorConfig
 from repro.models.graph import ModelGraph
 from repro.models.layer import conv2d, dwconv, fc, pwconv
+from repro.serve.faults import ChipFailure, FaultSpec, SlowdownWindow
 from repro.serve.fleet import Fleet, FleetSimulator
+from repro.serve.online import AutoscalePolicy
 from repro.serve.trace import StreamSpec
+from repro.serve.traffic import TrafficSpec
 from repro.serve.workload import StreamingWorkload
 from repro.units import gbps, mib
 from repro.workloads.spec import WorkloadSpec
@@ -53,6 +56,7 @@ TIMELINES_FILE = os.path.join(GOLDEN_DIR, "scheduler_timelines.json")
 DSE_FILE = os.path.join(GOLDEN_DIR, "dse_rankings.json")
 STREAMING_FILE = os.path.join(GOLDEN_DIR, "streaming_timelines.json")
 FLEET_FILE = os.path.join(GOLDEN_DIR, "fleet_timelines.json")
+ONLINE_FILE = os.path.join(GOLDEN_DIR, "online_timelines.json")
 
 #: Workloads whose full timelines are stored inline (the rest store a digest).
 INLINE_WORKLOADS = ("chain", "diamond")
@@ -495,7 +499,16 @@ def run_fleet_scenario(key: str, cost_model: CostModel) -> Dict[str, object]:
     simulator = FleetSimulator(cost_model=cost_model,
                                scheduler=HeraldScheduler(cost_model))
     result = simulator.simulate(streaming, fleet, policy=config["policy"])
+    return serialize_fleet_result(config["workload"], result)
 
+
+def serialize_fleet_result(workload_name: str, result) -> Dict[str, object]:
+    """Serialize a :class:`FleetResult` into the golden record shape.
+
+    Shared by the a-priori scenario runner and the online↔a-priori
+    equivalence test, which serializes the reduced-regime online result and
+    compares it against the checked-in a-priori record byte for byte.
+    """
     chips: List[Dict[str, object]] = []
     for chip_result in result.chip_results:
         entries = [] if chip_result.schedule is None else [
@@ -510,7 +523,7 @@ def run_fleet_scenario(key: str, cost_model: CostModel) -> Dict[str, object]:
             "digest": timeline_digest(entries),
             "num_entries": len(entries),
         }
-        if config["workload"] in INLINE_WORKLOADS:
+        if workload_name in INLINE_WORKLOADS:
             chip_record["entries"] = entries
         chips.append(chip_record)
 
@@ -529,6 +542,113 @@ def generate_fleet_timelines() -> Dict[str, Dict[str, object]]:
     cost_model = CostModel()
     return {key: run_fleet_scenario(key, cost_model)
             for key in fleet_scenario_keys()}
+
+
+# ---------------------------------------------------------------------------
+# Online (closed-loop) golden scenarios
+# ---------------------------------------------------------------------------
+#: Closed-loop variants: what each scenario injects beyond plain feedback
+#: dispatch.  Fault times sit mid-trace (duo arrivals span ~0.3-1.9 ms), so
+#: death orphans queued frames and the slowdown window covers real service.
+_ONLINE_FAULTS: Dict[str, FaultSpec] = {
+    "death": FaultSpec(failures=(ChipFailure(0, 0.0008),)),
+    "slowdown": FaultSpec(slowdowns=(SlowdownWindow(0, 0.0002, 0.0012, 2.5),)),
+}
+
+_ONLINE_AUTOSCALE = AutoscalePolicy(interval_s=0.0004, min_chips=1,
+                                    max_chips=4, target_queue_per_chip=2.0)
+
+#: (workload, fleet tag, policy, variant) rows of the online golden matrix:
+#: plain feedback (homogeneous and heterogeneous), chip death, a straggler
+#: window, work stealing under sticky affinity, the autoscaling controller,
+#: and every traffic kind.
+ONLINE_MATRIX: Tuple[Tuple[str, str, str, str], ...] = (
+    ("duo", "2homo", "least-outstanding", "feedback"),
+    ("duo", "2hetero", "earliest-completion", "feedback"),
+    ("duo", "2homo", "round-robin", "death"),
+    ("duo", "2homo", "earliest-completion", "slowdown"),
+    ("duo", "2homo", "sticky", "steal"),
+    ("chain", "4homo", "least-outstanding", "autoscale"),
+    ("duo", "2homo", "least-outstanding", "poisson"),
+    ("duo", "2homo", "least-outstanding", "bursty"),
+    ("duo", "2homo", "earliest-completion", "churn"),
+    ("chain", "2homo", "round-robin", "diurnal"),
+)
+
+
+def build_fleet_traffic_workload(workload_name: str,
+                                 kind: str) -> StreamingWorkload:
+    """The fleet-rate workload under a seeded stochastic arrival process."""
+    streams = []
+    for model_name, fps, frames, deadline_s in _FLEET_RATES[workload_name]:
+        streams.append(TrafficSpec(kind=kind, model_name=model_name,
+                                   rate_fps=fps, frames=frames,
+                                   deadline_s=deadline_s, seed=3).to_trace())
+    batches = build_workloads()
+    models: Dict[str, ModelGraph] = {}
+    for source in _FLEET_GRAPH_SOURCES[workload_name]:
+        batch = batches[source]
+        models.update({name: batch.model_graph(name)
+                       for name, _ in batch.entries})
+    return StreamingWorkload(name=f"{workload_name}-fleet-{kind}",
+                             streams=streams, models=models)
+
+
+def online_scenario_keys() -> List[str]:
+    """All online scenario keys, in deterministic order."""
+    return [f"online|{workload_name}|{tag}|{policy}|{variant}"
+            for workload_name, tag, policy, variant in ONLINE_MATRIX]
+
+
+def parse_online_key(key: str) -> Dict[str, object]:
+    prefix, workload_name, tag, policy, variant = key.split("|")
+    assert prefix == "online"
+    return {"workload": workload_name, "fleet": tag, "policy": policy,
+            "variant": variant}
+
+
+def run_online_scenario(key: str, cost_model: CostModel) -> Dict[str, object]:
+    """Execute one closed-loop scenario and return its serialized record."""
+    from repro.serve.traffic import TRAFFIC_KINDS
+
+    config = parse_online_key(key)
+    variant = config["variant"]
+    if variant in TRAFFIC_KINDS:
+        streaming = build_fleet_traffic_workload(config["workload"], variant)
+    else:
+        streaming = build_fleet_streaming_workload(config["workload"])
+    fleet = build_fleet(config["fleet"])
+    simulator = FleetSimulator(cost_model=cost_model,
+                               scheduler=HeraldScheduler(cost_model))
+    result = simulator.simulate_online(
+        streaming, fleet, policy=config["policy"],
+        faults=_ONLINE_FAULTS.get(variant),
+        autoscale=_ONLINE_AUTOSCALE if variant == "autoscale" else None)
+
+    frame_rows = [
+        [record.frame_id, repr(record.release_s), list(record.chip_history),
+         None if record.start_s is None else repr(record.start_s),
+         None if record.finish_s is None else repr(record.finish_s)]
+        for record in result.frames
+    ]
+    return {
+        "assignments": {f"{model}#{index}": chip
+                        for (model, index), chip
+                        in sorted(result.assignments.items())},
+        "frames_digest": timeline_digest(frame_rows),
+        "frames": frame_rows,
+        "lost": sorted(result.stats.lost_frame_ids),
+        "redispatched": result.stats.redispatched_frames,
+        "stolen": result.stats.stolen_frames,
+        "report": _repr_tree(result.report.summary()),
+    }
+
+
+def generate_online_timelines() -> Dict[str, Dict[str, object]]:
+    """Run every online scenario with one shared cost model."""
+    cost_model = CostModel()
+    return {key: run_online_scenario(key, cost_model)
+            for key in online_scenario_keys()}
 
 
 # ---------------------------------------------------------------------------
@@ -614,6 +734,15 @@ def write_fleet_golden() -> None:
         handle.write("\n")
 
 
+def write_online_golden() -> None:
+    """(Re)generate only the closed-loop matrix (never the a-priori files)."""
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    with open(ONLINE_FILE, "w") as handle:
+        json.dump(generate_online_timelines(), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+
+
 if __name__ == "__main__":
     if "--write-streaming" in sys.argv:
         write_streaming_golden()
@@ -621,6 +750,9 @@ if __name__ == "__main__":
     elif "--write-fleet" in sys.argv:
         write_fleet_golden()
         print(f"wrote {FLEET_FILE}")
+    elif "--write-online" in sys.argv:
+        write_online_golden()
+        print(f"wrote {ONLINE_FILE}")
     elif "--write" in sys.argv:
         # The batch files pin the *seed* implementation: regenerating them
         # from current code would make the 192-scenario equivalence gate pass
@@ -640,6 +772,7 @@ if __name__ == "__main__":
               f"and {FLEET_FILE}")
     else:
         print("usage: python tests/golden_scheduler.py "
-              "--write [--force] | --write-streaming | --write-fleet",
+              "--write [--force] | --write-streaming | --write-fleet | "
+              "--write-online",
               file=sys.stderr)
         raise SystemExit(2)

@@ -147,6 +147,68 @@ class TestFleet:
             main(["fleet", "--policy", "coin-flip"])
 
 
+class TestFleetOnline:
+    _BASE = ["fleet", "--workload", "arvr-a", "--chip", "edge",
+             "--design", "fda-nvdla", "--chips", "2",
+             "--policy", "least-outstanding", "--frames", "1"]
+
+    def test_online_traffic_quickstart(self, capsys):
+        assert main(self._BASE + ["--online", "--traffic", "poisson"]) == 0
+        output = capsys.readouterr().out
+        assert "arvr-a-poisson" in output
+        assert "traced frames" in output
+        assert "Fleet report" in output
+        assert "closed loop:" in output
+        assert "re-dispatched" in output and "stolen" in output
+
+    def test_online_faults_and_autoscale_report(self, capsys):
+        assert main(self._BASE + [
+            "--online", "--fault", "die:1@0.01",
+            "--fault", "slow:0@0.001-0.005x2.5", "--autoscale", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "closed loop:" in output
+        assert "autoscale [" in output
+        assert "pending, active" in output
+
+    def test_online_run_is_deterministic(self, capsys):
+        argv = self._BASE + ["--online", "--traffic", "bursty",
+                             "--fault", "die:0@0.01"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fault_requires_online(self, capsys):
+        assert main(self._BASE + ["--fault", "die:0@0.01"]) == 2
+        assert "--fault requires --online" in capsys.readouterr().err
+
+    def test_autoscale_requires_online(self, capsys):
+        assert main(self._BASE + ["--autoscale", "5"]) == 2
+        assert "--autoscale requires --online" in capsys.readouterr().err
+
+    def test_traffic_conflicts_with_jitter(self, capsys):
+        assert main(self._BASE + ["--online", "--traffic", "poisson",
+                                  "--jitter-ms", "1"]) == 2
+        assert "--jitter-ms applies to the periodic trace only" \
+            in capsys.readouterr().err
+
+    def test_all_chips_dead_is_a_clean_error(self, capsys):
+        assert main(self._BASE + ["--online", "--fault", "die:0@0",
+                                  "--fault", "die:1@0"]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot dispatch onto an empty fleet" in err
+
+    def test_fault_naming_a_missing_chip_is_a_clean_error(self, capsys):
+        assert main(self._BASE + ["--online", "--fault", "die:7@0.01"]) == 2
+        assert "only 2 chips" in capsys.readouterr().err
+
+    def test_unknown_traffic_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._BASE + ["--online", "--traffic", "lumpy"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'lumpy'" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
@@ -185,6 +247,14 @@ class TestParser:
          "--max-chips: must be an integer >= 1 (got 0)"),
         (["fleet", "--fps-scale", "-1"],
          "--fps-scale: must be > 0.0 (got -1.0)"),
+        (["fleet", "--autoscale", "0"],
+         "--autoscale: must be > 0.0 (got 0.0)"),
+        (["fleet", "--autoscale", "-2"],
+         "--autoscale: must be > 0.0 (got -2.0)"),
+        (["fleet", "--fault", "nonsense"],
+         "malformed fault clause 'nonsense'"),
+        (["fleet", "--fault", "slow:0@0.1x2"],
+         "malformed fault clause"),
         (["dse", "--jobs", "two"], "--jobs: expected an integer, got 'two'"),
     ])
     def test_bad_numeric_arguments_rejected_in_parser(self, argv, message,

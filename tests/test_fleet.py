@@ -30,11 +30,14 @@ import pytest
 
 import golden_scheduler
 from repro.core.scheduler import HeraldScheduler
-from repro.exceptions import WorkloadError
+from repro.exceptions import SearchError, WorkloadError
 from repro.exec import ProcessPoolBackend, SerialBackend
 from repro.maestro.cost import CostModel
 from repro.serve import (
     DISPATCH_POLICY_NAMES,
+    AutoscalePolicy,
+    ChipFailure,
+    FaultSpec,
     Fleet,
     FleetSimulator,
     FrameCostEstimator,
@@ -450,3 +453,148 @@ class TestMinChipsForSla:
             min_chips_for_sla(_simulator(fleet_cost_model), streaming,
                               golden_scheduler.build_fleet_chip(),
                               max_chips=0)
+
+
+# ---------------------------------------------------------------------------
+# Closed loop: online ↔ a-priori equivalence, online goldens, fault semantics
+# ---------------------------------------------------------------------------
+class TestOnlineEquivalence:
+    """The reduced regime (feedback off) must BE the a-priori dispatcher.
+
+    ``simulate_online(feedback=False)`` routes every frame through the event
+    loop against the estimate ledger, then simulates the compiled plan
+    layer-accurately.  Serializing that result with the golden serializer
+    must reproduce every record of the checked-in 40-scenario a-priori
+    corpus byte for byte — same assignments, same per-chip timeline digests,
+    same aggregated report.
+    """
+
+    def test_reduced_regime_matches_every_fleet_golden(self, golden_fleet,
+                                                       fleet_cost_model):
+        simulator = _simulator(fleet_cost_model)
+        for key in golden_scheduler.fleet_scenario_keys():
+            config = golden_scheduler.parse_fleet_key(key)
+            streaming = golden_scheduler.build_fleet_streaming_workload(
+                config["workload"])
+            fleet = golden_scheduler.build_fleet(config["fleet"])
+            online = simulator.simulate_online(
+                streaming, fleet, policy=config["policy"], feedback=False)
+            assert online.plan_result is not None, key
+            assert not online.stats.feedback
+            record = golden_scheduler.serialize_fleet_result(
+                config["workload"], online.plan_result)
+            assert record == golden_fleet[key], key
+
+    def test_reduced_regime_report_has_no_online_section(self,
+                                                         fleet_cost_model):
+        streaming = golden_scheduler.build_fleet_streaming_workload("duo")
+        fleet = golden_scheduler.build_fleet("2homo")
+        online = _simulator(fleet_cost_model).simulate_online(
+            streaming, fleet, policy="least-outstanding", feedback=False)
+        assert "online" not in online.report.summary()
+
+    def test_feedback_disabled_rejects_faults(self, fleet_cost_model):
+        streaming = golden_scheduler.build_fleet_streaming_workload("duo")
+        fleet = golden_scheduler.build_fleet("2homo")
+        with pytest.raises(WorkloadError, match="feedback=True"):
+            _simulator(fleet_cost_model).simulate_online(
+                streaming, fleet, feedback=False,
+                faults=FaultSpec(failures=(ChipFailure(0, 1e-3),)))
+
+    def test_feedback_disabled_rejects_autoscale(self, fleet_cost_model):
+        streaming = golden_scheduler.build_fleet_streaming_workload("duo")
+        fleet = golden_scheduler.build_fleet("2homo")
+        with pytest.raises(WorkloadError, match="feedback=True"):
+            _simulator(fleet_cost_model).simulate_online(
+                streaming, fleet, feedback=False,
+                autoscale=AutoscalePolicy(interval_s=1e-3))
+
+
+class TestOnlineGolden:
+    """The 10-scenario closed-loop corpus is pinned bit for bit."""
+
+    def test_matrix_is_complete(self):
+        keys = golden_scheduler.online_scenario_keys()
+        assert len(keys) == 10
+        golden = golden_scheduler.load_golden(golden_scheduler.ONLINE_FILE)
+        assert sorted(golden) == sorted(keys)
+
+    def test_scenarios_match_golden(self, fleet_cost_model):
+        golden = golden_scheduler.load_golden(golden_scheduler.ONLINE_FILE)
+        for key in golden_scheduler.online_scenario_keys():
+            record = golden_scheduler.run_online_scenario(key,
+                                                          fleet_cost_model)
+            assert record == golden[key], key
+
+
+class TestOnlineSemantics:
+    """Closed-loop behaviour that goldens alone cannot explain."""
+
+    def _online(self, cost_model, **kwargs):
+        streaming = golden_scheduler.build_fleet_streaming_workload("duo")
+        fleet = golden_scheduler.build_fleet("2homo")
+        return _simulator(cost_model).simulate_online(
+            streaming, fleet, policy="least-outstanding", **kwargs)
+
+    def test_death_redispatches_without_loss(self, fleet_cost_model):
+        result = self._online(
+            fleet_cost_model,
+            faults=FaultSpec(failures=(ChipFailure(0, 0.0008),)))
+        assert result.stats.redispatched_frames >= 1
+        assert result.stats.lost_frame_ids == ()
+        # Every frame that ever visited chip 0 after its death must have
+        # been re-homed: nothing completes on a dead chip.
+        for record in result.frames:
+            assert record.finish_s is not None
+            assert record.chip_history[-1] == 1 or record.finish_s <= 0.0008
+
+    def test_conservation_when_every_chip_dies(self, fleet_cost_model):
+        result = self._online(
+            fleet_cost_model,
+            faults=FaultSpec(failures=(ChipFailure(0, 0.0005),
+                                       ChipFailure(1, 0.0005))))
+        completed = {r.frame_id for r in result.frames if not r.lost}
+        lost = set(result.stats.lost_frame_ids)
+        everything = {r.frame_id for r in result.frames}
+        assert completed | lost == everything
+        assert completed & lost == set()
+        assert lost, "frames arriving after the last death must be lost"
+
+    def test_all_chips_dead_at_start_raises(self, fleet_cost_model):
+        with pytest.raises(SearchError, match="dead"):
+            self._online(
+                fleet_cost_model,
+                faults=FaultSpec(failures=(ChipFailure(0, 0.0),
+                                           ChipFailure(1, 0.0))))
+
+    def test_liveness_with_a_surviving_chip(self, fleet_cost_model):
+        # One chip never dies => every frame completes, none are lost.
+        result = self._online(
+            fleet_cost_model,
+            faults=FaultSpec(failures=(ChipFailure(1, 0.0002),)))
+        assert result.stats.lost_frame_ids == ()
+        assert all(r.finish_s is not None for r in result.frames)
+
+    def test_autoscale_intervals_partition_the_run(self, fleet_cost_model):
+        streaming = golden_scheduler.build_fleet_streaming_workload("chain")
+        fleet = golden_scheduler.build_fleet("4homo")
+        result = _simulator(fleet_cost_model).simulate_online(
+            streaming, fleet, policy="least-outstanding",
+            autoscale=AutoscalePolicy(interval_s=0.0004, min_chips=1,
+                                      max_chips=4))
+        intervals = result.stats.intervals
+        assert intervals, "a run longer than one interval must record some"
+        for earlier, later in zip(intervals, intervals[1:]):
+            # Boundaries are accumulated event times, so adjacency is exact
+            # only up to float addition order.
+            assert later.start_s == pytest.approx(earlier.end_s, rel=1e-9)
+            assert later.index == earlier.index + 1
+        for interval in intervals:
+            assert 1 <= interval.active_after <= 4
+
+    def test_router_dispatch_on_empty_fleet_raises(self, fleet_cost_model):
+        streaming = _mini_streaming()
+        router = Router("round-robin",
+                        estimator=FrameCostEstimator(fleet_cost_model))
+        with pytest.raises(SearchError, match="empty fleet"):
+            router.dispatch(streaming, ())
