@@ -7,11 +7,31 @@ repo-root ``conftest.py`` puts ``src/`` on ``sys.path`` for tests and
 benchmarks, and ``PYTHONPATH=src python -m repro.cli`` serves as the CLI.
 """
 
+import os
+import re
+
 from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Single-source the version from ``src/repro/__init__.py``.
+
+    Read textually (not imported): setup.py must not import the package it
+    is about to install.
+    """
+    init_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "src", "repro", "__init__.py")
+    with open(init_path, "r", encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"$', handle.read(),
+                          re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
 
 setup(
     name="herald-repro",
-    version="1.5.0",
+    version=read_version(),
     description=("Reproduction of 'Heterogeneous Dataflow Accelerators for "
                  "Multi-DNN Workloads' (HPCA 2021): Herald's scheduler, "
                  "hardware partitioner, and co-design-space exploration"),

@@ -12,7 +12,10 @@ The library implements the paper's full stack:
 * a pluggable execution engine — serial / process-pool backends and a
   persistent cost cache — for large sweeps (:mod:`repro.exec`);
 * a streaming serving simulator — frame-arrival traces, online scheduling,
-  SLA metrics, sustained FPS (:mod:`repro.serve`); and
+  SLA metrics, sustained FPS (:mod:`repro.serve`);
+* a declarative experiment layer — validated config specs, one runner for
+  every experiment kind, versioned JSON reports with baseline deltas
+  (:mod:`repro.experiment`); and
 * analysis helpers (:mod:`repro.analysis`).
 
 Quickstart
@@ -22,6 +25,10 @@ Quickstart
 >>> maelstrom = dse.maelstrom(workload_by_name("arvr-a"), accelerator_class("edge"))
 >>> print(maelstrom.describe())  # doctest: +SKIP
 """
+
+# Defined before the submodule imports below: submodules (e.g. the report
+# writer) import it back from the partially initialised package.
+__version__ = "1.6.0"
 
 from repro.models import Layer, LayerType, ModelGraph
 from repro.models.zoo import available_models, build_model
@@ -92,9 +99,14 @@ from repro.serve import (
     streaming_suite,
     sustained_fps,
 )
+from repro.experiment import (
+    ExperimentSpec,
+    compare_reports,
+    experiment_from_spec,
+    load_experiment,
+    run_experiment,
+)
 from repro.analysis import pareto_front, percent_improvement
-
-__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -164,6 +176,12 @@ __all__ = [
     "ServingSimulator",
     "ServingReport",
     "sustained_fps",
+    # experiments
+    "ExperimentSpec",
+    "experiment_from_spec",
+    "load_experiment",
+    "run_experiment",
+    "compare_reports",
     # analysis
     "pareto_front",
     "percent_improvement",

@@ -1,14 +1,34 @@
-"""Builders for the four accelerator styles evaluated in the paper (Table III)."""
+"""Builders for the four accelerator styles evaluated in the paper (Table III).
+
+Besides the imperative constructors (:func:`make_fda` and friends) this module
+carries the declarative half of the accelerator layer:
+:func:`chip_from_spec` / :func:`chip_to_spec` resolve chip envelopes against
+the Table IV accelerator classes (with per-knob overrides), and
+:func:`design_from_spec` / :func:`design_to_spec` serialise complete designs —
+including explicit HDA partitions, so a searched maelstrom design reloads
+bit-for-bit without re-running the partition search.
+"""
 
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import PartitionError
+from repro.exceptions import PartitionError, SpecError
 from repro.accel.design import AcceleratorDesign, AcceleratorKind
-from repro.dataflow.styles import ALL_STYLES, DataflowStyle
+from repro.dataflow.styles import ALL_STYLES, DataflowStyle, style_by_name
 from repro.maestro.hardware import ChipConfig, SubAcceleratorConfig
+from repro.units import DEFAULT_CLOCK_HZ, gbps, mib
+from repro.validation import (
+    check_keys,
+    expect_choice,
+    expect_list,
+    expect_mapping,
+    expect_number,
+    expect_pos_int,
+    expect_str,
+    spec_path,
+)
 
 
 def make_fda(chip: ChipConfig, style: DataflowStyle,
@@ -49,8 +69,15 @@ def _partition_evenly(total: int, parts: int, quantum: int = 1) -> List[int]:
 
 def _build_partitioned(chip: ChipConfig, styles: Sequence[Optional[DataflowStyle]],
                        pe_partition: Sequence[int], bw_partition_gbps: Sequence[float],
-                       name: str, kind: AcceleratorKind) -> AcceleratorDesign:
-    """Construct a multi-sub-accelerator design from explicit partitions."""
+                       name: str, kind: AcceleratorKind,
+                       bw_partition_bytes: Optional[Sequence[float]] = None
+                       ) -> AcceleratorDesign:
+    """Construct a multi-sub-accelerator design from explicit partitions.
+
+    ``bw_partition_bytes`` overrides the GB/s partition with exact raw
+    byte-per-second shares — the spec round-trip path uses it so reloading a
+    serialised design never re-rounds through the GB/s representation.
+    """
     if not (len(styles) == len(pe_partition) == len(bw_partition_gbps)):
         raise PartitionError(
             f"design {name!r}: styles ({len(styles)}), PE partition ({len(pe_partition)}) "
@@ -67,15 +94,17 @@ def _build_partitioned(chip: ChipConfig, styles: Sequence[Optional[DataflowStyle
             f"design {name!r}: PE partition sums to {total_pes}, chip has {chip.num_pes}"
         )
 
+    if bw_partition_bytes is None:
+        bw_partition_bytes = [bw * 1e9 for bw in bw_partition_gbps]
     subs: List[SubAcceleratorConfig] = []
-    for index, (style, pes, bw_gbps) in enumerate(zip(styles, pe_partition, bw_partition_gbps)):
+    for index, (style, pes, bw_bytes) in enumerate(zip(styles, pe_partition, bw_partition_bytes)):
         style_label = style.name if style is not None else "rda"
         subs.append(
             SubAcceleratorConfig(
                 name=f"{name}/acc{index}-{style_label}",
                 dataflow=style,
                 num_pes=pes,
-                bandwidth_bytes_per_s=bw_gbps * 1e9,
+                bandwidth_bytes_per_s=bw_bytes,
                 # The global scratchpad is a shared, time-multiplexed resource:
                 # every sub-accelerator can stage its working tile in it, so
                 # tile-residency decisions see the full capacity (the scheduler
@@ -167,3 +196,276 @@ def hda_style_combinations(styles: Sequence[DataflowStyle] = ALL_STYLES,
     if include_three_way and len(styles) >= 3:
         combos.append(tuple(styles))
     return combos
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+_CHIP_KEYS = ("class", "name", "num_pes", "noc_gbps",
+              "noc_bandwidth_bytes_per_s", "buffer_mib",
+              "global_buffer_bytes", "dram_gbps",
+              "dram_bandwidth_bytes_per_s", "clock_mhz", "clock_hz")
+
+_DESIGN_KEYS = ("kind", "name", "chip", "style", "styles", "count",
+                "pe_partition", "bw_partition_gbps",
+                "bw_partition_bytes_per_s")
+
+
+def _style_from_spec(value: object, path: str) -> DataflowStyle:
+    name = expect_choice(value, [style.name for style in ALL_STYLES], path)
+    return style_by_name(name)
+
+
+def chip_from_spec(spec: Union[str, Dict[str, object]],
+                   path: str = "chip") -> ChipConfig:
+    """Resolve a chip envelope spec against the Table IV accelerator classes.
+
+    Accepts a bare class name (``"edge"``) or a mapping: an optional
+    ``class`` base plus per-knob overrides, in human units (``noc_gbps``,
+    ``buffer_mib``, ``clock_mhz``) or exact raw units
+    (``noc_bandwidth_bytes_per_s``, ``global_buffer_bytes``, ``clock_hz``) —
+    :func:`chip_to_spec` always emits the raw-unit form, so serialising and
+    reloading a chip never re-rounds a bandwidth through GB/s.
+    """
+    from repro.accel.classes import ACCELERATOR_CLASSES
+
+    if isinstance(spec, str):
+        return chip_from_spec({"class": spec}, path)
+    mapping = expect_mapping(spec, path)
+    check_keys(mapping, _CHIP_KEYS, path)
+
+    def exclusive(human: str, raw: str) -> None:
+        if human in mapping and raw in mapping:
+            raise SpecError(
+                f"{spec_path(path, raw)}: give either {human!r} or {raw!r}, "
+                f"not both")
+
+    for human, raw in (("noc_gbps", "noc_bandwidth_bytes_per_s"),
+                       ("buffer_mib", "global_buffer_bytes"),
+                       ("dram_gbps", "dram_bandwidth_bytes_per_s"),
+                       ("clock_mhz", "clock_hz")):
+        exclusive(human, raw)
+
+    base: Optional[ChipConfig] = None
+    if "class" in mapping:
+        class_name = expect_choice(mapping["class"], ACCELERATOR_CLASSES,
+                                   spec_path(path, "class"))
+        base = ACCELERATOR_CLASSES[class_name]
+    else:
+        for human, raw in (("num_pes", "num_pes"),
+                           ("noc_gbps", "noc_bandwidth_bytes_per_s"),
+                           ("buffer_mib", "global_buffer_bytes")):
+            if human not in mapping and raw not in mapping:
+                raise SpecError(
+                    f"{spec_path(path, human)}: missing required value "
+                    f"(custom chips without a 'class' base need num_pes, "
+                    f"noc_gbps and buffer_mib)")
+
+    name = mapping.get("name")
+    if name is not None:
+        name = expect_str(name, spec_path(path, "name"))
+    num_pes = (expect_pos_int(mapping["num_pes"], spec_path(path, "num_pes"))
+               if "num_pes" in mapping else base.num_pes)
+    if "noc_bandwidth_bytes_per_s" in mapping:
+        noc = expect_number(mapping["noc_bandwidth_bytes_per_s"],
+                            spec_path(path, "noc_bandwidth_bytes_per_s"),
+                            minimum=0.0, exclusive=True)
+    elif "noc_gbps" in mapping:
+        noc = gbps(expect_number(mapping["noc_gbps"],
+                                 spec_path(path, "noc_gbps"),
+                                 minimum=0.0, exclusive=True))
+    else:
+        noc = base.noc_bandwidth_bytes_per_s
+    if "global_buffer_bytes" in mapping:
+        buffer_bytes = expect_pos_int(mapping["global_buffer_bytes"],
+                                      spec_path(path, "global_buffer_bytes"))
+    elif "buffer_mib" in mapping:
+        buffer_bytes = mib(expect_number(mapping["buffer_mib"],
+                                         spec_path(path, "buffer_mib"),
+                                         minimum=0.0, exclusive=True))
+    else:
+        buffer_bytes = base.global_buffer_bytes
+    if "dram_bandwidth_bytes_per_s" in mapping:
+        dram = expect_number(mapping["dram_bandwidth_bytes_per_s"],
+                             spec_path(path, "dram_bandwidth_bytes_per_s"),
+                             minimum=0.0, exclusive=True)
+    elif "dram_gbps" in mapping:
+        dram = gbps(expect_number(mapping["dram_gbps"],
+                                  spec_path(path, "dram_gbps"),
+                                  minimum=0.0, exclusive=True))
+    else:
+        dram = base.dram_bandwidth_bytes_per_s if base is not None else None
+    if "clock_hz" in mapping:
+        clock = expect_number(mapping["clock_hz"], spec_path(path, "clock_hz"),
+                              minimum=0.0, exclusive=True)
+    elif "clock_mhz" in mapping:
+        clock = expect_number(mapping["clock_mhz"],
+                              spec_path(path, "clock_mhz"),
+                              minimum=0.0, exclusive=True) * 1e6
+    else:
+        clock = base.clock_hz if base is not None else DEFAULT_CLOCK_HZ
+
+    return ChipConfig(
+        name=name or (base.name if base is not None else "custom"),
+        num_pes=num_pes,
+        noc_bandwidth_bytes_per_s=noc,
+        global_buffer_bytes=buffer_bytes,
+        dram_bandwidth_bytes_per_s=dram,
+        clock_hz=clock,
+    )
+
+
+def chip_to_spec(chip: ChipConfig) -> Union[str, Dict[str, object]]:
+    """Serialise a chip envelope; registered classes collapse to their name.
+
+    Custom chips are emitted with raw-unit fields only, so
+    ``chip_from_spec(chip_to_spec(chip)) == chip`` holds exactly.
+    """
+    from repro.accel.classes import ACCELERATOR_CLASSES
+
+    if ACCELERATOR_CLASSES.get(chip.name) == chip:
+        return chip.name
+    spec: Dict[str, object] = {
+        "name": chip.name,
+        "num_pes": chip.num_pes,
+        "noc_bandwidth_bytes_per_s": chip.noc_bandwidth_bytes_per_s,
+        "global_buffer_bytes": chip.global_buffer_bytes,
+    }
+    if chip.dram_bandwidth_bytes_per_s is not None:
+        spec["dram_bandwidth_bytes_per_s"] = chip.dram_bandwidth_bytes_per_s
+    if chip.clock_hz != DEFAULT_CLOCK_HZ:
+        spec["clock_hz"] = chip.clock_hz
+    return spec
+
+
+def design_from_spec(spec: Dict[str, object], path: str = "design",
+                     chip: Optional[ChipConfig] = None) -> AcceleratorDesign:
+    """Build an accelerator design from its declarative spec.
+
+    ``spec`` names a ``kind`` (``fda`` / ``rda`` / ``sm-fda`` / ``hda``) plus
+    the kind's knobs; ``chip`` supplies the envelope when the spec carries no
+    inline ``chip`` key (the experiment layer passes its top-level chip).
+    Explicit ``pe_partition`` / ``bw_partition_bytes_per_s`` reload searched
+    HDA partitions exactly; ``bw_partition_gbps`` is the human-unit alternate.
+    """
+    mapping = expect_mapping(spec, path)
+    check_keys(mapping, _DESIGN_KEYS, path)
+    kind = expect_choice(mapping.get("kind"),
+                         [k.value for k in AcceleratorKind],
+                         spec_path(path, "kind"))
+    if "chip" in mapping:
+        chip = chip_from_spec(mapping["chip"], spec_path(path, "chip"))
+    if chip is None:
+        raise SpecError(f"{spec_path(path, 'chip')}: missing required value")
+    name = mapping.get("name")
+    if name is not None:
+        name = expect_str(name, spec_path(path, "name"))
+
+    def forbid(*keys: str) -> None:
+        for key in keys:
+            if key in mapping:
+                raise SpecError(
+                    f"{spec_path(path, key)}: not a knob of kind {kind!r}")
+
+    if kind == "rda":
+        forbid("style", "styles", "count", "pe_partition",
+               "bw_partition_gbps", "bw_partition_bytes_per_s")
+        return make_rda(chip, name=name)
+    if kind == "fda":
+        forbid("styles", "count", "pe_partition", "bw_partition_gbps",
+               "bw_partition_bytes_per_s")
+        style = _style_from_spec(mapping.get("style"), spec_path(path, "style"))
+        return make_fda(chip, style, name=name)
+    if kind == "sm-fda":
+        forbid("styles", "pe_partition", "bw_partition_gbps",
+               "bw_partition_bytes_per_s")
+        style = _style_from_spec(mapping.get("style"), spec_path(path, "style"))
+        count = mapping.get("count", 2)
+        return make_smfda(chip, style,
+                          expect_pos_int(count, spec_path(path, "count")),
+                          name=name)
+
+    # HDA: two or more distinct styles, optionally with explicit partitions.
+    forbid("style", "count")
+    styles_path = spec_path(path, "styles")
+    styles_list = expect_list(mapping.get("styles", []), styles_path)
+    if len(styles_list) < 2:
+        raise SpecError(f"{styles_path}: an HDA needs at least two dataflow "
+                        f"styles (got {len(styles_list)})")
+    styles = [_style_from_spec(value, spec_path(styles_path, index))
+              for index, value in enumerate(styles_list)]
+
+    pe_partition: Optional[List[int]] = None
+    if "pe_partition" in mapping:
+        pe_path = spec_path(path, "pe_partition")
+        entries = expect_list(mapping["pe_partition"], pe_path)
+        pe_partition = [expect_pos_int(value, spec_path(pe_path, index))
+                        for index, value in enumerate(entries)]
+    if ("bw_partition_gbps" in mapping
+            and "bw_partition_bytes_per_s" in mapping):
+        raise SpecError(
+            f"{spec_path(path, 'bw_partition_bytes_per_s')}: give either "
+            f"'bw_partition_gbps' or 'bw_partition_bytes_per_s', not both")
+
+    bw_bytes: Optional[List[float]] = None
+    bw_gbps: Optional[List[float]] = None
+    if "bw_partition_bytes_per_s" in mapping:
+        bw_path = spec_path(path, "bw_partition_bytes_per_s")
+        entries = expect_list(mapping["bw_partition_bytes_per_s"], bw_path)
+        bw_bytes = [expect_number(value, spec_path(bw_path, index),
+                                  minimum=0.0, exclusive=True)
+                    for index, value in enumerate(entries)]
+        bw_gbps = [value / 1e9 for value in bw_bytes]
+    elif "bw_partition_gbps" in mapping:
+        bw_path = spec_path(path, "bw_partition_gbps")
+        entries = expect_list(mapping["bw_partition_gbps"], bw_path)
+        bw_gbps = [expect_number(value, spec_path(bw_path, index),
+                                 minimum=0.0, exclusive=True)
+                   for index, value in enumerate(entries)]
+
+    try:
+        if pe_partition is None and bw_gbps is None:
+            return make_hda(chip, styles, name=name)
+        if len({style.name for style in styles}) < 2:
+            raise PartitionError(
+                "an HDA must combine at least two distinct dataflow styles")
+        style_tag = "-".join(style.name for style in styles)
+        design_name = name or f"hda-{style_tag}-{chip.name}"
+        if pe_partition is None:
+            pe_partition = _partition_evenly(chip.num_pes, len(styles))
+        if bw_gbps is None:
+            total_gbps = chip.noc_bandwidth_bytes_per_s / 1e9
+            bw_gbps = [total_gbps / len(styles)] * len(styles)
+        return _build_partitioned(chip=chip, styles=styles,
+                                  pe_partition=pe_partition,
+                                  bw_partition_gbps=bw_gbps,
+                                  name=design_name,
+                                  kind=AcceleratorKind.HDA,
+                                  bw_partition_bytes=bw_bytes)
+    except PartitionError as error:
+        raise SpecError(f"{path}: {error}") from None
+
+
+def design_to_spec(design: AcceleratorDesign) -> Dict[str, object]:
+    """Serialise a design so :func:`design_from_spec` reloads it exactly.
+
+    Multi-array designs always carry their explicit PE and raw-unit bandwidth
+    partitions, so a searched (maelstrom) HDA round-trips bit-for-bit without
+    re-running the partition search.
+    """
+    spec: Dict[str, object] = {
+        "kind": design.kind.value,
+        "name": design.name,
+        "chip": chip_to_spec(design.chip),
+    }
+    if design.kind == AcceleratorKind.FDA:
+        spec["style"] = design.sub_accelerators[0].dataflow.name
+    elif design.kind == AcceleratorKind.SM_FDA:
+        spec["style"] = design.sub_accelerators[0].dataflow.name
+        spec["count"] = design.num_sub_accelerators
+    elif design.kind == AcceleratorKind.HDA:
+        spec["styles"] = design.dataflow_names
+        spec["pe_partition"] = list(design.pe_partition)
+        spec["bw_partition_bytes_per_s"] = [
+            sub.bandwidth_bytes_per_s for sub in design.sub_accelerators]
+    return spec

@@ -1,10 +1,11 @@
 """Command-line interface for the Herald reproduction.
 
-Five sub-commands mirror how the paper uses Herald (plus its fleet-scale
-extension):
+Seven sub-commands mirror how the paper uses Herald (plus its fleet-scale
+and experiment-layer extensions):
 
 ``herald describe``
-    Print the workload and accelerator-class inventories.
+    Print the workload / accelerator-class / policy / traffic / experiment
+    inventories.
 ``herald schedule``
     Schedule one workload on one design (FDA / RDA / Maelstrom-style HDA) and
     print latency / energy / EDP.
@@ -20,6 +21,17 @@ extension):
     routing policy (round-robin / least-outstanding / earliest-completion /
     sticky) and print per-chip utilisation plus fleet-wide tail latency;
     optionally search the minimum fleet size meeting the SLA.
+``herald run``
+    Execute a declarative experiment file (JSON or the YAML subset) — any of
+    the above kinds — and optionally write the versioned JSON report and
+    compare it against a stored baseline (non-zero exit on regression).
+``herald report-diff``
+    Diff two report files metric by metric (the CI regression gate).
+
+Every flag-driven sub-command compiles its flags into the same experiment
+schema ``herald run`` reads and executes it through the shared runner, so a
+flag invocation and the equivalent experiment file produce identical output
+and identical reports.
 
 Numeric arguments are validated in the parser (``type=`` callables raising
 ``ArgumentTypeError``), so a bad ``--jobs 0`` or negative ``--pe-steps`` fails
@@ -30,36 +42,36 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from repro.accel import accelerator_class, make_fda, make_hda, make_rda
+from repro import __version__
 from repro.accel.classes import ACCELERATOR_CLASSES
-from repro.core import HeraldDSE, HeraldScheduler, evaluate_design
-from repro.core.partitioner import PartitionSearch
-from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
-from repro.exec import PersistentCostCache, ProcessPoolBackend, SerialBackend
-from repro.maestro import CostModel
-from repro.exceptions import SearchError, WorkloadError
+from repro.exceptions import SpecError, WorkloadError
+from repro.experiment.report import (
+    compare_reports,
+    load_report,
+    report_from_bench,
+    write_report,
+)
+from repro.experiment.runner import run_experiment
+from repro.experiment.spec import (
+    EXPERIMENT_KINDS,
+    NAMED_DESIGNS,
+    experiment_from_spec,
+    load_experiment,
+)
+from repro.experiment.yamlish import load_config
 from repro.serve import (
     DISPATCH_POLICY_NAMES,
     TRAFFIC_KINDS,
-    AutoscalePolicy,
-    Fleet,
-    FleetSimulator,
-    ServingSimulator,
-    merge_fault_specs,
-    min_chips_for_sla,
     parse_fault_clause,
-    streaming_suite,
-    sustained_fps,
-    traffic_suite,
 )
+from repro.serve.router import ROUTER_POLICIES
 from repro.workloads import workload_by_name
 from repro.workloads.suites import WORKLOAD_SUITES
 
 #: Design names accepted by ``herald schedule`` / ``herald serve``.
-DESIGN_CHOICES = ["maelstrom", "rda", "fda-nvdla", "fda-shidiannao",
-                  "fda-eyeriss"]
+DESIGN_CHOICES = list(NAMED_DESIGNS)
 
 
 def _int_at_least(minimum: int) -> Callable[[str], int]:
@@ -96,12 +108,17 @@ def _float_at_least(minimum: float, exclusive: bool = False) -> Callable[[str], 
     return parse
 
 
-def _fault_clause(text: str):
-    """Parser type: a ``die:CHIP@T`` / ``slow:CHIP@T0-T1xF`` fault clause."""
+def _fault_clause(text: str) -> str:
+    """Parser type: a ``die:CHIP@T`` / ``slow:CHIP@T0-T1xF`` fault clause.
+
+    Returns the clause *string* (the experiment schema carries clauses as
+    text); parsing here surfaces malformed clauses as argparse errors.
+    """
     try:
-        return parse_fault_clause(text)
+        parse_fault_clause(text)
     except WorkloadError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
+    return text
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -110,15 +127,21 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Herald: co-design-space exploration for heterogeneous "
                     "dataflow accelerators (HPCA 2021 reproduction).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"herald {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("describe", help="list workloads and accelerator classes")
+    sub.add_parser("describe", help="list workloads, accelerator classes, "
+                                    "policies, traffic kinds and experiment "
+                                    "kinds")
 
     schedule = sub.add_parser("schedule", help="schedule a workload on one design")
     schedule.add_argument("--workload", default="arvr-a", choices=sorted(WORKLOAD_SUITES))
     schedule.add_argument("--chip", default="edge", choices=sorted(ACCELERATOR_CLASSES))
     schedule.add_argument("--design", default="maelstrom", choices=DESIGN_CHOICES)
     schedule.add_argument("--metric", default="edp", choices=["edp", "latency", "energy"])
+    schedule.add_argument("--report", default=None, metavar="PATH",
+                          help="write the versioned JSON report here")
 
     dse = sub.add_parser("dse", help="run the co-design-space exploration")
     dse.add_argument("--workload", default="arvr-a", choices=sorted(WORKLOAD_SUITES))
@@ -132,6 +155,8 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--cache-file", default=None, metavar="PATH",
                      help="JSON file the cost-model cache is loaded from / saved to, "
                           "so repeated sweeps start warm")
+    dse.add_argument("--report", default=None, metavar="PATH",
+                     help="write the versioned JSON report here")
 
     serve = sub.add_parser(
         "serve", help="simulate streaming frame arrivals on one design")
@@ -165,6 +190,8 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--optimize-sla", action="store_true",
                        help="additionally search the maelstrom PE/BW partition "
                             "under the SLA objective (zero misses, min p99)")
+    serve.add_argument("--report", default=None, metavar="PATH",
+                       help="write the versioned JSON report here")
 
     fleet = sub.add_parser(
         "fleet", help="simulate streaming arrivals on a multi-chip fleet")
@@ -216,6 +243,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="resize the active fleet against observed "
                             "backlog every INTERVAL_MS milliseconds; needs "
                             "--online")
+    fleet.add_argument("--report", default=None, metavar="PATH",
+                       help="write the versioned JSON report here")
+
+    run = sub.add_parser(
+        "run", help="execute a declarative experiment file (JSON / YAML)")
+    run.add_argument("experiment", metavar="FILE",
+                     help="experiment spec file (.json / .yaml / .yml)")
+    run.add_argument("--report", default=None, metavar="PATH",
+                     help="write the versioned JSON report here")
+    run.add_argument("--baseline", default=None, metavar="PATH",
+                     help="compare the run's metrics against this stored "
+                          "report; exit 1 on regression")
+    run.add_argument("--tolerance", type=_float_at_least(0.0), default=0.0,
+                     help="relative tolerance of the baseline comparison")
+
+    diff = sub.add_parser(
+        "report-diff", help="diff two report files metric by metric")
+    diff.add_argument("current", metavar="CURRENT", help="report to check")
+    diff.add_argument("baseline", metavar="BASELINE",
+                      help="stored baseline report")
+    diff.add_argument("--tolerance", type=_float_at_least(0.0), default=0.0,
+                      help="relative tolerance before a change counts as a "
+                           "regression")
+    diff.add_argument("--bench", action="store_true",
+                      help="treat both files as bench_hot_paths baselines "
+                           "(BENCH_hotpaths.json) instead of reports")
     return parser
 
 
@@ -227,64 +280,70 @@ def _command_describe() -> int:
     print("\nAccelerator classes (Table IV):")
     for chip in ACCELERATOR_CLASSES.values():
         print(f"  {chip.describe()}")
+    print("\nDispatch policies (herald fleet --policy):")
+    for name in sorted(ROUTER_POLICIES):
+        print(f"  {name}")
+    print("\nTraffic kinds (herald fleet --traffic):")
+    for name in TRAFFIC_KINDS:
+        print(f"  {name}")
+    print("\nFault clauses (herald fleet --fault):")
+    print("  die:CHIP@T          chip CHIP dies at T seconds")
+    print("  slow:CHIP@T0-T1xF   chip CHIP runs Fx slower during [T0, T1)")
+    print("\nExperiment kinds (herald run):")
+    for kind in EXPERIMENT_KINDS:
+        print(f"  {kind}")
     return 0
 
 
-def _named_design(name: str, workload, chip, cost_model, scheduler):
-    """Resolve a ``--design`` name to a concrete accelerator design.
-
-    ``maelstrom`` runs the paper's partition search for the (batch) workload;
-    the FDA / RDA names are direct constructions.
-    """
-    if name == "maelstrom":
-        dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler)
-        return dse.maelstrom_design(workload, chip)
-    if name == "rda":
-        return make_rda(chip)
-    style = style_by_name(name.split("-", 1)[1])
-    return make_fda(chip, style)
+def _execute(mapping: Dict[str, object], report_path: Optional[str] = None,
+             baseline_path: Optional[str] = None,
+             tolerance: float = 0.0) -> int:
+    """Validate, run, and post-process one compiled experiment mapping."""
+    try:
+        spec = experiment_from_spec(mapping)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    outcome = run_experiment(spec)
+    if outcome.exit_code != 0 or outcome.report is None:
+        return outcome.exit_code
+    if report_path is not None:
+        write_report(outcome.report, report_path)
+    if baseline_path is not None:
+        try:
+            baseline = load_report(baseline_path)
+        except SpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        comparison = compare_reports(outcome.report, baseline,
+                                     tolerance=tolerance)
+        print(comparison.describe())
+        if not comparison.ok:
+            return 1
+    return 0
 
 
 def _command_schedule(args: argparse.Namespace) -> int:
-    workload = workload_by_name(args.workload)
-    chip = accelerator_class(args.chip)
-    cost_model = CostModel()
-    scheduler = HeraldScheduler(cost_model, metric=args.metric)
-    design = _named_design(args.design, workload, chip, cost_model, scheduler)
-
-    result = evaluate_design(design, workload, cost_model=cost_model, scheduler=scheduler)
-    print(design.describe())
-    print(result.describe())
-    print(f"scheduling time: {result.scheduling_time_s:.2f} s")
-    return 0
+    return _execute({
+        "kind": "schedule",
+        "workload": args.workload,
+        "chip": args.chip,
+        "design": args.design,
+        "metric": args.metric,
+    }, report_path=args.report)
 
 
 def _command_dse(args: argparse.Namespace) -> int:
-    workload = workload_by_name(args.workload)
-    chip = accelerator_class(args.chip)
-    cost_model = CostModel()
-    scheduler = HeraldScheduler(cost_model)
-    cache = PersistentCostCache(args.cache_file) if args.cache_file else None
-    if args.jobs > 1:
-        backend = ProcessPoolBackend(jobs=args.jobs, cost_model=cost_model,
-                                     scheduler=scheduler, cache=cache)
-    else:
-        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler, cache=cache)
-    search = PartitionSearch(cost_model=cost_model, scheduler=scheduler,
-                             pe_steps=args.pe_steps, bw_steps=args.bw_steps)
-    dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler,
-                    partition_search=search, backend=backend)
-    space = dse.explore(workload, chip)
-    print(space.describe())
-    print(f"execution backend: {backend.describe()}")
-    print(f"cost model: {backend.total_cold_evaluations} cold evaluations, "
-          f"{backend.total_cache_hits} cache hits")
-    if cache is not None:
-        print(cache.describe())
-        if backend.cache_save_error is not None:
-            print(f"warning: could not save cost cache: {backend.cache_save_error}",
-                  file=sys.stderr)
-    return 0
+    mapping: Dict[str, object] = {
+        "kind": "dse",
+        "workload": args.workload,
+        "chip": args.chip,
+        "search": {"pe_steps": args.pe_steps, "bw_steps": args.bw_steps},
+        "exec": {"jobs": args.jobs},
+    }
+    if args.cache_file is not None:
+        mapping["exec"]["cache_file"] = args.cache_file
+    return _execute(mapping, report_path=args.report)
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -294,43 +353,21 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"error: --sustained-lo ({args.sustained_lo}) must be below "
               f"--sustained-hi ({args.sustained_hi})", file=sys.stderr)
         return 2
-    batch_workload = workload_by_name(args.workload)
-    chip = accelerator_class(args.chip)
-    cost_model = CostModel()
-    scheduler = HeraldScheduler(cost_model, metric=args.metric)
-    design = _named_design(args.design, batch_workload, chip, cost_model, scheduler)
-
-    streaming = streaming_suite(args.workload, frames=args.frames,
-                                fps_scale=args.fps_scale,
-                                jitter_s=args.jitter_ms / 1e3, seed=args.seed)
-    simulator = ServingSimulator(scheduler)
-    result = simulator.simulate(streaming, design.sub_accelerators)
-
-    print(design.describe())
-    print(streaming.describe())
-    print(result.report.describe())
-
-    if not args.skip_sustained:
-        sustained = sustained_fps(simulator, streaming, design.sub_accelerators,
-                                  lo=args.sustained_lo, hi=args.sustained_hi,
-                                  iterations=args.sustained_probes,
-                                  tolerance=args.sustained_tolerance)
-        print(sustained.describe())
-
-    if args.optimize_sla:
-        search = PartitionSearch(cost_model=cost_model, scheduler=scheduler,
-                                 metric="sla")
-        best = search.search_best(chip, [NVDLA, SHIDIANNAO], streaming)
-        frames = best.result.frame_summary()
-        if frames["missed_frames"]:
-            print("SLA search: no partition serves this scenario without "
-                  "deadline misses; best-tail partition:")
-        else:
-            print("SLA-optimal maelstrom partition (zero misses, min p99):")
-        print("  " + best.describe())
-        print(f"  p99 frame latency {frames['p99_latency_s'] * 1e3:.3f} ms, "
-              f"miss rate {frames['deadline_miss_rate']:.1%}")
-    return 0
+    mapping: Dict[str, object] = {
+        "kind": "serve",
+        "workload": args.workload,
+        "chip": args.chip,
+        "design": args.design,
+        "metric": args.metric,
+        "streaming": {"frames": args.frames, "fps_scale": args.fps_scale,
+                      "jitter_ms": args.jitter_ms, "seed": args.seed},
+        "sustained": {"enabled": not args.skip_sustained,
+                      "lo": args.sustained_lo, "hi": args.sustained_hi,
+                      "probes": args.sustained_probes,
+                      "tolerance": args.sustained_tolerance},
+        "optimize_sla": args.optimize_sla,
+    }
+    return _execute(mapping, report_path=args.report)
 
 
 def _command_fleet(args: argparse.Namespace) -> int:
@@ -347,68 +384,71 @@ def _command_fleet(args: argparse.Namespace) -> int:
         print("error: --jitter-ms applies to the periodic trace only; "
               "--traffic arrivals are already stochastic", file=sys.stderr)
         return 2
-    batch_workload = workload_by_name(args.workload)
-    chip = accelerator_class(args.chip)
-    cost_model = CostModel()
-    scheduler = HeraldScheduler(cost_model, metric=args.metric)
-    design = _named_design(args.design, batch_workload, chip, cost_model,
-                           scheduler)
-    fleet = Fleet.homogeneous(design, args.chips)
-
+    mapping: Dict[str, object] = {
+        "kind": "closed-loop" if args.online else "fleet",
+        "workload": args.workload,
+        "chip": args.chip,
+        "design": args.design,
+        "metric": args.metric,
+        "streaming": {"frames": args.frames, "fps_scale": args.fps_scale,
+                      "jitter_ms": args.jitter_ms, "seed": args.seed},
+        "fleet": {"chips": args.chips, "policy": args.policy},
+        "min_chips": {"enabled": args.min_chips,
+                      "max_chips": args.max_chips},
+        "exec": {"jobs": args.jobs},
+    }
     if args.traffic:
-        streaming = traffic_suite(args.workload, args.traffic,
-                                  frames=args.frames,
-                                  fps_scale=args.fps_scale, seed=args.seed)
-    else:
-        streaming = streaming_suite(args.workload, frames=args.frames,
-                                    fps_scale=args.fps_scale,
-                                    jitter_s=args.jitter_ms / 1e3,
-                                    seed=args.seed)
-    if args.jobs > 1:
-        backend = ProcessPoolBackend(jobs=args.jobs, cost_model=cost_model,
-                                     scheduler=scheduler)
-    else:
-        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler)
-    simulator = FleetSimulator(backend=backend)
+        mapping["traffic"] = args.traffic
+    if args.fault:
+        mapping["faults"] = list(args.fault)
+    if args.autoscale is not None:
+        mapping["autoscale"] = {"interval_ms": args.autoscale,
+                                "max_chips": args.chips}
+    return _execute(mapping, report_path=args.report)
 
-    print(fleet.describe())
-    print(streaming.describe())
+
+def _command_run(args: argparse.Namespace) -> int:
     try:
-        if args.online:
-            faults = merge_fault_specs(args.fault) if args.fault else None
-            autoscale = (AutoscalePolicy(interval_s=args.autoscale / 1e3,
-                                         min_chips=1, max_chips=args.chips)
-                         if args.autoscale is not None else None)
-            online = simulator.simulate_online(streaming, fleet,
-                                               policy=args.policy,
-                                               faults=faults,
-                                               autoscale=autoscale)
-            result_report = online.report
-        else:
-            result_report = simulator.simulate(streaming, fleet,
-                                               policy=args.policy).report
-    except (SearchError, WorkloadError) as error:
+        mapping = load_config(args.experiment)
+    except SpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(result_report.describe())
-    if args.online:
-        stats = online.stats
-        print(f"closed loop: {stats.redispatched_frames} re-dispatched, "
-              f"{stats.stolen_frames} stolen, "
-              f"{len(stats.lost_frame_ids)} lost")
-        for interval in stats.intervals:
-            print(f"  autoscale [{interval.start_s * 1e3:8.3f}, "
-                  f"{interval.end_s * 1e3:8.3f}) ms: "
-                  f"{interval.pending_frames} pending, active "
-                  f"{interval.active_before} -> {interval.active_after}")
-    print(f"execution backend: {backend.describe()}")
+    return _execute(mapping, report_path=args.report,
+                    baseline_path=args.baseline, tolerance=args.tolerance)
 
-    if args.min_chips:
-        search = min_chips_for_sla(simulator, streaming, design,
-                                   policy=args.policy,
-                                   max_chips=args.max_chips)
-        print(search.describe())
-    return 0
+
+def _command_report_diff(args: argparse.Namespace) -> int:
+    try:
+        if args.bench:
+            current = report_from_bench(_load_bench(args.current))
+            baseline = report_from_bench(_load_bench(args.baseline))
+        else:
+            current = load_report(args.current)
+            baseline = load_report(args.baseline)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    comparison = compare_reports(current, baseline,
+                                 tolerance=args.tolerance)
+    print(comparison.describe())
+    return 0 if comparison.ok else 1
+
+
+def _load_bench(path: str) -> Dict[str, object]:
+    """Load a ``bench_hot_paths`` baseline JSON file."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            bench = json.load(handle)
+    except OSError as error:
+        raise SpecError(f"cannot read bench baseline {path!r}: "
+                        f"{error.strerror or error}") from None
+    except json.JSONDecodeError as error:
+        raise SpecError(f"{path}: malformed bench JSON ({error})") from None
+    if not isinstance(bench, dict):
+        raise SpecError(f"{path}: not a bench baseline (expected a mapping)")
+    return bench
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -424,6 +464,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "fleet":
         return _command_fleet(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report-diff":
+        return _command_report_diff(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

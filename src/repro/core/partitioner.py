@@ -29,10 +29,21 @@ from repro.maestro.cost import CostModel
 from repro.maestro.hardware import ChipConfig, SubAcceleratorConfig
 from repro.core.evaluator import EvaluationResult, evaluate_design, sla_rank_key
 from repro.core.scheduler import HeraldScheduler
+from repro.validation import (
+    check_keys,
+    expect_choice,
+    expect_int,
+    expect_mapping,
+    expect_pos_int,
+    spec_path,
+)
 from repro.workloads.spec import WorkloadSpec
 
 #: Search strategies supported by :class:`PartitionSearch`.
 STRATEGIES = ("exhaustive", "binary", "random")
+
+#: Ranking objectives supported by :class:`PartitionSearch`.
+SEARCH_METRICS = ("edp", "latency", "energy", "sla")
 
 
 @dataclass(frozen=True)
@@ -145,7 +156,7 @@ class PartitionSearch:
             raise SearchError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
         if pe_steps < 2 or bw_steps < 1:
             raise SearchError("pe_steps must be >= 2 and bw_steps >= 1")
-        if metric not in ("edp", "latency", "energy", "sla"):
+        if metric not in SEARCH_METRICS:
             raise SearchError(f"unknown metric {metric!r}")
         self.cost_model = cost_model or CostModel()
         self.scheduler = scheduler or HeraldScheduler(self.cost_model)
@@ -369,3 +380,57 @@ class PartitionSearch:
         return make_hda(chip, styles, pe_partition=pe_partition,
                         bw_partition_gbps=bw_partition_gbps)
 
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+_SEARCH_KEYS = ("strategy", "pe_steps", "bw_steps", "metric", "samples",
+                "seed")
+
+
+def search_from_spec(spec: object, path: str = "search",
+                     cost_model: Optional[CostModel] = None,
+                     scheduler: Optional[HeraldScheduler] = None
+                     ) -> PartitionSearch:
+    """Build a partition search from its declarative spec.
+
+    Every knob is optional and defaults to the :class:`PartitionSearch`
+    constructor default, so ``search: {}`` is the stock search.
+    """
+    mapping = expect_mapping(spec, path)
+    check_keys(mapping, _SEARCH_KEYS, path)
+    strategy = expect_choice(mapping.get("strategy", "exhaustive"),
+                             STRATEGIES, spec_path(path, "strategy"))
+    pe_steps = expect_int(mapping.get("pe_steps", 8),
+                          spec_path(path, "pe_steps"), minimum=2)
+    bw_steps = expect_pos_int(mapping.get("bw_steps", 4),
+                              spec_path(path, "bw_steps"))
+    metric = expect_choice(mapping.get("metric", "edp"), SEARCH_METRICS,
+                           spec_path(path, "metric"))
+    samples = expect_pos_int(mapping.get("samples", 16),
+                             spec_path(path, "samples"))
+    seed = expect_int(mapping.get("seed", 0), spec_path(path, "seed"),
+                      minimum=0)
+    return PartitionSearch(cost_model=cost_model, scheduler=scheduler,
+                           strategy=strategy, pe_steps=pe_steps,
+                           bw_steps=bw_steps, metric=metric,
+                           samples=samples, seed=seed)
+
+
+def search_to_spec(search: PartitionSearch) -> Dict[str, object]:
+    """Serialise a partition search's knobs; defaults are omitted."""
+    mapping: Dict[str, object] = {}
+    if search.strategy != "exhaustive":
+        mapping["strategy"] = search.strategy
+    if search.pe_steps != 8:
+        mapping["pe_steps"] = search.pe_steps
+    if search.bw_steps != 4:
+        mapping["bw_steps"] = search.bw_steps
+    if search.metric != "edp":
+        mapping["metric"] = search.metric
+    if search.samples != 16:
+        mapping["samples"] = search.samples
+    if search.seed != 0:
+        mapping["seed"] = search.seed
+    return mapping

@@ -42,3 +42,12 @@ class WorkloadError(ReproError):
 
 class SearchError(ReproError):
     """The design-space exploration was configured with invalid parameters."""
+
+
+class SpecError(ReproError):
+    """A declarative experiment spec is malformed.
+
+    The message always starts with the dotted/indexed path of the offending
+    value (``fleet.chips[2].num_pes: expected a positive int``), so a user can
+    find the line in their experiment file without reading any source.
+    """

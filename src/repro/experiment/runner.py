@@ -1,0 +1,313 @@
+"""One shared execution path for every experiment kind.
+
+:func:`run_experiment` takes a validated
+:class:`~repro.experiment.spec.ExperimentSpec` and runs it through the same
+cost model / scheduler / execution-backend stack the CLI always used,
+printing the exact human-readable output the corresponding ``herald``
+sub-command prints (the CLI tests pin this equivalence byte for byte) and
+returning an :class:`ExperimentOutcome` with the process exit code and the
+schema-versioned report of :mod:`repro.experiment.report`.
+
+The CLI sub-commands are thin compilers now: flags become a spec mapping,
+the mapping becomes an :class:`ExperimentSpec`, and this module runs it —
+so a flag invocation and the equivalent ``herald run experiment.yaml`` are
+the same program by construction.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.accel.builders import design_from_spec, make_fda, make_rda
+from repro.accel.design import AcceleratorDesign
+from repro.core import HeraldDSE, HeraldScheduler, evaluate_design
+from repro.core.partitioner import PartitionSearch, search_from_spec
+from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
+from repro.exceptions import SearchError, SpecError, WorkloadError
+from repro.exec import PersistentCostCache, ProcessPoolBackend, SerialBackend
+from repro.experiment.report import build_report
+from repro.experiment.spec import ExperimentSpec
+from repro.maestro import CostModel
+from repro.serve import (
+    Fleet,
+    FleetSimulator,
+    ServingSimulator,
+    min_chips_for_sla,
+    streaming_suite,
+    sustained_fps,
+    traffic_suite,
+)
+from repro.serve.fleet import fleet_from_spec
+from repro.serve.workload import StreamingWorkload
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """What one experiment run produced: an exit code and (on success) the
+    report document."""
+
+    exit_code: int
+    report: Optional[Dict[str, object]] = None
+
+
+def _resolve_design(reference: Union[str, AcceleratorDesign], workload, chip,
+                    cost_model, scheduler) -> AcceleratorDesign:
+    """Materialise a design reference (named designs resolve here because
+    ``maelstrom`` runs the paper's partition search for the workload)."""
+    if isinstance(reference, AcceleratorDesign):
+        return reference
+    if reference == "maelstrom":
+        dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler)
+        return dse.maelstrom_design(workload, chip)
+    if reference == "rda":
+        return make_rda(chip)
+    return make_fda(chip, style_by_name(reference.split("-", 1)[1]))
+
+
+def _streaming_workload(spec: ExperimentSpec) -> StreamingWorkload:
+    """The arrival trace: explicit streams, stochastic traffic, or the
+    periodic suite trace at the spec's knobs."""
+    if spec.streams is not None:
+        return spec.streams
+    knobs = spec.streaming
+    if spec.traffic is not None:
+        return traffic_suite(spec.workload.name, spec.traffic.kind,
+                             frames=knobs.frames, fps_scale=knobs.fps_scale,
+                             seed=knobs.seed, **spec.traffic.shape)
+    return streaming_suite(spec.workload.name, frames=knobs.frames,
+                           fps_scale=knobs.fps_scale,
+                           jitter_s=knobs.jitter_ms / 1e3, seed=knobs.seed)
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
+    """Run one experiment, print its CLI output, and build its report."""
+    if spec.kind == "schedule":
+        return _run_schedule(spec)
+    if spec.kind == "dse":
+        return _run_dse(spec)
+    if spec.kind == "serve":
+        return _run_serve(spec)
+    if spec.kind in ("fleet", "closed-loop"):
+        return _run_fleet(spec)
+    raise SpecError(f"kind: unhandled experiment kind {spec.kind!r}")
+
+
+def _finish(spec: ExperimentSpec, metrics: Dict[str, float],
+            details: Dict[str, object],
+            timing: Dict[str, float]) -> ExperimentOutcome:
+    return ExperimentOutcome(
+        exit_code=0,
+        report=build_report(spec.kind, spec.name, dict(spec.raw),
+                            metrics, details, timing))
+
+
+# ---------------------------------------------------------------------------
+# schedule
+# ---------------------------------------------------------------------------
+def _run_schedule(spec: ExperimentSpec) -> ExperimentOutcome:
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model, metric=spec.metric)
+    design = _resolve_design(spec.design, spec.workload, spec.chip,
+                             cost_model, scheduler)
+    result = evaluate_design(design, spec.workload, cost_model=cost_model,
+                             scheduler=scheduler)
+    print(design.describe())
+    print(result.describe())
+    print(f"scheduling time: {result.scheduling_time_s:.2f} s")
+    summary = result.summary()
+    timing = {"scheduling_time_s": summary.pop("scheduling_time_s")}
+    return _finish(spec, summary, {"design": design.name}, timing)
+
+
+# ---------------------------------------------------------------------------
+# dse
+# ---------------------------------------------------------------------------
+def _run_dse(spec: ExperimentSpec) -> ExperimentOutcome:
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model)
+    cache = (PersistentCostCache(spec.exec_settings.cache_file)
+             if spec.exec_settings.cache_file else None)
+    if spec.exec_settings.jobs > 1:
+        backend = ProcessPoolBackend(jobs=spec.exec_settings.jobs,
+                                     cost_model=cost_model,
+                                     scheduler=scheduler, cache=cache)
+    else:
+        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler,
+                                cache=cache)
+    search = search_from_spec(spec.search, cost_model=cost_model,
+                              scheduler=scheduler)
+    dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler,
+                    partition_search=search, backend=backend)
+    space = dse.explore(spec.workload, spec.chip)
+    print(space.describe())
+    print(f"execution backend: {backend.describe()}")
+    print(f"cost model: {backend.total_cold_evaluations} cold evaluations, "
+          f"{backend.total_cache_hits} cache hits")
+    if cache is not None:
+        print(cache.describe())
+        if backend.cache_save_error is not None:
+            print(f"warning: could not save cost cache: "
+                  f"{backend.cache_save_error}", file=sys.stderr)
+
+    metrics: Dict[str, float] = {}
+    best_designs: Dict[str, str] = {}
+    for row in space.summary_rows():
+        category = str(row["category"])
+        best_designs[category] = str(row["design"])
+        metrics[f"{category}_latency_s"] = float(row["latency_s"])
+        metrics[f"{category}_energy_mj"] = float(row["energy_mj"])
+        metrics[f"{category}_edp_js"] = float(row["edp_js"])
+    details: Dict[str, object] = {
+        "best_designs": best_designs,
+        "points": len(space.points),
+        "cold_evaluations": backend.total_cold_evaluations,
+        "cache_hits": backend.total_cache_hits,
+    }
+    return _finish(spec, metrics, details, {})
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+def _serving_metrics(summary: Dict[str, object],
+                     prefix: str = "") -> Dict[str, float]:
+    """The flat, comparable slice of a serving/fleet report summary."""
+    metrics: Dict[str, float] = {}
+    for key, value in summary.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metrics[prefix + key] = float(value)
+    return metrics
+
+
+def _run_serve(spec: ExperimentSpec) -> ExperimentOutcome:
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model, metric=spec.metric)
+    design = _resolve_design(spec.design, spec.workload, spec.chip,
+                             cost_model, scheduler)
+    streaming = _streaming_workload(spec)
+    simulator = ServingSimulator(scheduler)
+    result = simulator.simulate(streaming, design.sub_accelerators)
+
+    print(design.describe())
+    print(streaming.describe())
+    print(result.report.describe())
+
+    summary = result.report.summary()
+    metrics = _serving_metrics(summary)
+    details: Dict[str, object] = {"design": design.name,
+                                  "streams": summary["streams"]}
+
+    if spec.sustained.enabled:
+        sustained = sustained_fps(simulator, streaming,
+                                  design.sub_accelerators,
+                                  lo=spec.sustained.lo, hi=spec.sustained.hi,
+                                  iterations=spec.sustained.probes,
+                                  tolerance=spec.sustained.tolerance)
+        print(sustained.describe())
+        metrics["sustained_fps_factor"] = sustained.factor
+        details["sustained_fps_per_stream"] = dict(sustained.fps_per_stream)
+        details["sustained_evaluations"] = sustained.evaluations
+
+    if spec.optimize_sla:
+        search = PartitionSearch(cost_model=cost_model, scheduler=scheduler,
+                                 metric="sla")
+        best = search.search_best(spec.chip, [NVDLA, SHIDIANNAO], streaming)
+        frames = best.result.frame_summary()
+        if frames["missed_frames"]:
+            print("SLA search: no partition serves this scenario without "
+                  "deadline misses; best-tail partition:")
+        else:
+            print("SLA-optimal maelstrom partition (zero misses, min p99):")
+        print("  " + best.describe())
+        print(f"  p99 frame latency {frames['p99_latency_s'] * 1e3:.3f} ms, "
+              f"miss rate {frames['deadline_miss_rate']:.1%}")
+        metrics["sla_p99_latency_s"] = frames["p99_latency_s"]
+        metrics["sla_deadline_miss_rate"] = frames["deadline_miss_rate"]
+        details["sla_partition"] = {
+            "pe_partition": list(best.pe_partition),
+            "bw_partition_gbps": list(best.bw_partition_gbps),
+        }
+    return _finish(spec, metrics, details, {})
+
+
+# ---------------------------------------------------------------------------
+# fleet / closed-loop
+# ---------------------------------------------------------------------------
+def _run_fleet(spec: ExperimentSpec) -> ExperimentOutcome:
+    cost_model = CostModel()
+    scheduler = HeraldScheduler(cost_model, metric=spec.metric)
+    design = _resolve_design(spec.design, spec.workload, spec.chip,
+                             cost_model, scheduler)
+
+    def build_design(sub: object, sub_path: str) -> AcceleratorDesign:
+        if sub is None:
+            return design
+        if isinstance(sub, str):
+            return _resolve_design(sub, spec.workload, spec.chip,
+                                   cost_model, scheduler)
+        return design_from_spec(sub, path=sub_path, chip=spec.chip)
+
+    fleet = fleet_from_spec(spec.fleet, build_design)
+    streaming = _streaming_workload(spec)
+    if spec.exec_settings.jobs > 1:
+        backend = ProcessPoolBackend(jobs=spec.exec_settings.jobs,
+                                     cost_model=cost_model,
+                                     scheduler=scheduler)
+    else:
+        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler)
+    simulator = FleetSimulator(backend=backend)
+
+    print(fleet.describe())
+    print(streaming.describe())
+    online = None
+    try:
+        if spec.online:
+            online = simulator.simulate_online(streaming, fleet,
+                                               policy=spec.policy,
+                                               faults=spec.faults,
+                                               autoscale=spec.autoscale)
+            result_report = online.report
+        else:
+            result_report = simulator.simulate(streaming, fleet,
+                                               policy=spec.policy).report
+    except (SearchError, WorkloadError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExperimentOutcome(exit_code=2)
+    print(result_report.describe())
+    if spec.online:
+        stats = online.stats
+        print(f"closed loop: {stats.redispatched_frames} re-dispatched, "
+              f"{stats.stolen_frames} stolen, "
+              f"{len(stats.lost_frame_ids)} lost")
+        for interval in stats.intervals:
+            print(f"  autoscale [{interval.start_s * 1e3:8.3f}, "
+                  f"{interval.end_s * 1e3:8.3f}) ms: "
+                  f"{interval.pending_frames} pending, active "
+                  f"{interval.active_before} -> {interval.active_after}")
+    print(f"execution backend: {backend.describe()}")
+
+    summary = result_report.summary()
+    metrics = _serving_metrics(summary)
+    details: Dict[str, object] = {
+        "fleet": summary["fleet"],
+        "policy": summary["policy"],
+        "chips": summary["chips"],
+    }
+    if spec.online:
+        stats = online.stats
+        metrics["redispatched_frames"] = float(stats.redispatched_frames)
+        metrics["stolen_frames"] = float(stats.stolen_frames)
+        metrics["lost_frames"] = float(len(stats.lost_frame_ids))
+        details["online"] = stats.summary()
+
+    if spec.min_chips.enabled:
+        search = min_chips_for_sla(simulator, streaming, design,
+                                   policy=spec.policy,
+                                   max_chips=spec.min_chips.max_chips)
+        print(search.describe())
+        metrics["min_chips_for_sla"] = float(search.chips)
+        details["min_chips_evaluations"] = search.evaluations
+    return _finish(spec, metrics, details, {})

@@ -21,7 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import WorkloadError
+from repro.exceptions import SpecError, WorkloadError
+from repro.validation import expect_list, expect_str, spec_path
 
 
 @dataclass(frozen=True)
@@ -209,3 +210,36 @@ def merge_fault_specs(specs: Sequence[FaultSpec]) -> FaultSpec:
         failures.extend(spec.failures)
         slowdowns.extend(spec.slowdowns)
     return FaultSpec(failures=tuple(failures), slowdowns=tuple(slowdowns))
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+def faults_from_spec(spec: object, path: str = "faults") -> FaultSpec:
+    """Build a fault script from a list of CLI-grammar clause strings."""
+    clauses = expect_list(spec, path)
+    parsed: List[FaultSpec] = []
+    for index, clause in enumerate(clauses):
+        clause_path = spec_path(path, index)
+        try:
+            parsed.append(parse_fault_clause(
+                expect_str(clause, clause_path)))
+        except WorkloadError as error:
+            raise SpecError(f"{clause_path}: {error}") from None
+    try:
+        return merge_fault_specs(parsed)
+    except WorkloadError as error:
+        raise SpecError(f"{path}: {error}") from None
+
+
+def faults_to_spec(spec: FaultSpec) -> List[str]:
+    """Serialise a fault script back into clause strings.
+
+    Floats are rendered with ``repr`` so the round trip through
+    :func:`faults_from_spec` is exact.
+    """
+    clauses = [f"die:{f.chip_index}@{f.at_s!r}" for f in spec.failures]
+    clauses.extend(
+        f"slow:{w.chip_index}@{w.start_s!r}-{w.end_s!r}x{w.factor!r}"
+        for w in spec.slowdowns)
+    return clauses

@@ -37,7 +37,7 @@ from repro.accel.design import AcceleratorDesign
 from repro.analysis.metrics import imbalance, percentile
 from repro.core.schedule import LOAD_IMBALANCE_UNUSED_SENTINEL, Schedule
 from repro.core.scheduler import HeraldScheduler
-from repro.exceptions import WorkloadError
+from repro.exceptions import SpecError, WorkloadError
 from repro.exec.backends import ExecutionBackend, SerialBackend
 from repro.exec.tasks import EvaluationTask
 from repro.maestro.cost import CostModel
@@ -55,6 +55,15 @@ from repro.serve.simulator import (
     stream_frame_latencies,
 )
 from repro.serve.workload import StreamingWorkload
+from repro.validation import (
+    check_keys,
+    expect_list,
+    expect_mapping,
+    expect_pos_int,
+    expect_str,
+    spec_path,
+    take,
+)
 
 
 @dataclass(frozen=True)
@@ -632,3 +641,82 @@ def min_chips_for_sla(simulator: FleetSimulator,
             failing = midpoint
     return MinChipsResult(chips=meeting, evaluations=evaluations,
                           report=reports[meeting])
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+_FLEET_KEYS = ("name", "chips", "design")
+
+
+def fleet_from_spec(spec: object, build_design, path: str = "fleet") -> Fleet:
+    """Build a fleet from its declarative spec.
+
+    Two forms for ``chips``: a positive int (``count`` homogeneous replicas
+    of the base design, built by calling ``build_design`` with the fleet's
+    optional ``design`` sub-spec — or ``None`` for the experiment default)
+    or an explicit list of design specs.  ``build_design(sub_spec, sub_path)``
+    is injected by the caller so design knob errors surface with exact
+    ``fleet.chips[i].knob`` paths without this module importing the builder
+    layer.  List entries without an explicit ``name`` get a ``[index]``
+    suffix (mirroring :meth:`Fleet.homogeneous`) so replicas stay unique.
+    """
+    mapping = expect_mapping(spec, path)
+    check_keys(mapping, _FLEET_KEYS, path)
+    name = mapping.get("name")
+    if name is not None:
+        name = expect_str(name, spec_path(path, "name"))
+    chips_value = take(mapping, "chips", path)
+    chips_path = spec_path(path, "chips")
+    if isinstance(chips_value, int) and not isinstance(chips_value, bool):
+        count = expect_pos_int(chips_value, chips_path)
+        base = build_design(mapping.get("design"), spec_path(path, "design"))
+        return Fleet.homogeneous(base, count, name=name)
+    if "design" in mapping:
+        raise SpecError(f"{spec_path(path, 'design')}: only a homogeneous "
+                        f"fleet (integer 'chips') takes a base design")
+    entries = expect_list(chips_value, chips_path)
+    if not entries:
+        raise SpecError(f"{chips_path}: needs at least one chip entry")
+    designs: List[AcceleratorDesign] = []
+    for index, entry in enumerate(entries):
+        entry_path = spec_path(chips_path, index)
+        # Fleet chip names follow Fleet.homogeneous semantics: the design is
+        # built namelessly, then renamed at the top level only (explicit
+        # 'name', or a [index] suffix for uniqueness) — sub-accelerator
+        # names keep the design's natural stem either way.
+        explicit_name = None
+        if isinstance(entry, dict) and "name" in entry:
+            explicit_name = expect_str(entry["name"],
+                                       spec_path(entry_path, "name"))
+            entry = {key: value for key, value in entry.items()
+                     if key != "name"}
+        design = build_design(entry, entry_path)
+        designs.append(dataclasses.replace(
+            design, name=(explicit_name if explicit_name is not None
+                          else f"{design.name}[{index}]")))
+    try:
+        return Fleet(name=name or f"{designs[0].name}-fleet",
+                     chips=tuple(designs))
+    except WorkloadError as error:
+        raise SpecError(f"{path}: {error}") from None
+
+
+def fleet_to_spec(fleet: Fleet, design_to_spec) -> Dict[str, object]:
+    """Serialise a fleet; homogeneous replicas collapse back to a count.
+
+    ``design_to_spec`` serialises one chip design (injected for the same
+    layering reason as in :func:`fleet_from_spec`).
+    """
+    mapping: Dict[str, object] = {"name": fleet.name}
+    base = fleet.chips[0]
+    stem = base.name[:-3] if base.name.endswith("[0]") else None
+    if stem is not None and all(
+            chip == dataclasses.replace(base, name=f"{stem}[{index}]")
+            for index, chip in enumerate(fleet.chips)):
+        mapping["chips"] = len(fleet.chips)
+        mapping["design"] = design_to_spec(
+            dataclasses.replace(base, name=stem))
+    else:
+        mapping["chips"] = [design_to_spec(chip) for chip in fleet.chips]
+    return mapping

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import percentile
-from repro.exceptions import SearchError, WorkloadError
+from repro.exceptions import SearchError, SpecError, WorkloadError
 from repro.exec.tasks import EvaluationTask
 from repro.serve.faults import FaultSpec
 from repro.serve.fleet import ChipStats, Fleet, FleetReport, FleetResult
@@ -56,6 +56,13 @@ from repro.serve.router import (
 )
 from repro.serve.trace import FrameTrace
 from repro.serve.workload import StreamingWorkload
+from repro.validation import (
+    check_keys,
+    expect_mapping,
+    expect_number,
+    expect_pos_int,
+    spec_path,
+)
 
 # Event priorities: at one simulated instant, completions land before
 # deaths (a frame finishing exactly when its chip dies did finish), deaths
@@ -108,6 +115,56 @@ class AutoscalePolicy:
         wanted = math.ceil(pending_frames / self.target_queue_per_chip)
         return max(min(self.min_chips, fleet_size),
                    min(wanted, ceiling))
+
+
+_AUTOSCALE_KEYS = ("interval_s", "interval_ms", "min_chips", "max_chips",
+                   "target_queue_per_chip")
+
+
+def autoscale_from_spec(spec: object,
+                        path: str = "autoscale") -> AutoscalePolicy:
+    """Build an autoscaling policy from its declarative spec."""
+    mapping = expect_mapping(spec, path)
+    check_keys(mapping, _AUTOSCALE_KEYS, path)
+    if ("interval_s" in mapping) == ("interval_ms" in mapping):
+        raise SpecError(f"{path}: give exactly one of interval_s or "
+                        f"interval_ms")
+    if "interval_s" in mapping:
+        interval = expect_number(mapping["interval_s"],
+                                 spec_path(path, "interval_s"),
+                                 minimum=0.0, exclusive=True)
+    else:
+        interval = expect_number(mapping["interval_ms"],
+                                 spec_path(path, "interval_ms"),
+                                 minimum=0.0, exclusive=True) / 1e3
+    max_chips = mapping.get("max_chips")
+    if max_chips is not None:
+        max_chips = expect_pos_int(max_chips, spec_path(path, "max_chips"))
+    try:
+        return AutoscalePolicy(
+            interval_s=interval,
+            min_chips=expect_pos_int(mapping.get("min_chips", 1),
+                                     spec_path(path, "min_chips")),
+            max_chips=max_chips,
+            target_queue_per_chip=expect_number(
+                mapping.get("target_queue_per_chip", 2.0),
+                spec_path(path, "target_queue_per_chip"),
+                minimum=0.0, exclusive=True),
+        )
+    except WorkloadError as error:
+        raise SpecError(f"{path}: {error}") from None
+
+
+def autoscale_to_spec(policy: AutoscalePolicy) -> Dict[str, object]:
+    """Serialise an autoscaling policy; defaults are omitted."""
+    mapping: Dict[str, object] = {"interval_s": policy.interval_s}
+    if policy.min_chips != 1:
+        mapping["min_chips"] = policy.min_chips
+    if policy.max_chips is not None:
+        mapping["max_chips"] = policy.max_chips
+    if policy.target_queue_per_chip != 2.0:
+        mapping["target_queue_per_chip"] = policy.target_queue_per_chip
+    return mapping
 
 
 @dataclass(frozen=True)

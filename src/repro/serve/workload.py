@@ -21,14 +21,26 @@ stays the single-stream period.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from repro.exceptions import WorkloadError
+from repro.exceptions import SpecError, WorkloadError
 from repro.models.graph import ModelGraph
-from repro.serve.trace import StreamSpec
+from repro.serve.trace import FrameTrace, StreamSpec
 from repro.units import seconds_to_cycles
+from repro.validation import (
+    check_keys,
+    expect_bool,
+    expect_choice,
+    expect_int,
+    expect_list,
+    expect_mapping,
+    expect_number,
+    expect_pos_int,
+    expect_str,
+    spec_path,
+)
 from repro.workloads.spec import WorkloadSpec
-from repro.workloads.suites import workload_by_name
+from repro.workloads.suites import WORKLOAD_SUITES, workload_by_name
 
 #: Per-model real-time frame-rate targets (the Table II "target FPS" column):
 #: hand/pose tracking runs at display rate, segmentation / detection / depth at
@@ -218,3 +230,169 @@ def streaming_suite(suite_name: str, frames: int = 8, fps_scale: float = 1.0,
         ))
     return StreamingWorkload(name=f"{suite_name}-stream", streams=streams,
                              models=dict(spec.models))
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+_SUITE_STREAM_KEYS = ("suite", "frames", "fps_scale", "jitter_ms", "jitter_s",
+                      "seed", "stagger")
+_STREAM_KEYS = ("model", "fps", "frames", "phase_s", "jitter_s", "jitter_ms",
+                "seed", "deadline_s")
+_TRACE_KEYS = ("model", "releases_s", "deadline_s", "fps")
+
+
+def _jitter_seconds(mapping: Dict[str, object], path: str,
+                    default: float = 0.0) -> float:
+    """Read a jitter half-width from ``jitter_s`` or ``jitter_ms``."""
+    if "jitter_s" in mapping and "jitter_ms" in mapping:
+        raise SpecError(f"{spec_path(path, 'jitter_ms')}: give either "
+                        f"'jitter_s' or 'jitter_ms', not both")
+    if "jitter_s" in mapping:
+        return expect_number(mapping["jitter_s"], spec_path(path, "jitter_s"),
+                             minimum=0.0)
+    if "jitter_ms" in mapping:
+        return expect_number(mapping["jitter_ms"],
+                             spec_path(path, "jitter_ms"), minimum=0.0) / 1e3
+    return default
+
+
+def stream_from_spec(spec: Dict[str, object],
+                     path: str = "stream") -> Union[StreamSpec, FrameTrace]:
+    """Build one stream from its declarative spec.
+
+    Two forms: a rate-law stream (``model`` / ``fps`` / ``frames`` plus the
+    optional phase / jitter / seed / deadline knobs → :class:`StreamSpec`) or
+    an explicit-release trace (``model`` / ``releases_s`` / ``deadline_s`` /
+    ``fps`` → :class:`~repro.serve.trace.FrameTrace`).
+    """
+    mapping = expect_mapping(spec, path)
+    model = expect_str(mapping.get("model"), spec_path(path, "model")) \
+        if "model" in mapping else None
+    if model is None:
+        raise SpecError(f"{spec_path(path, 'model')}: missing required value")
+    if "releases_s" in mapping:
+        check_keys(mapping, _TRACE_KEYS, path)
+        releases_path = spec_path(path, "releases_s")
+        releases = [expect_number(value, spec_path(releases_path, index),
+                                  minimum=0.0)
+                    for index, value in enumerate(
+                        expect_list(mapping["releases_s"], releases_path))]
+        if not releases:
+            raise SpecError(f"{releases_path}: needs at least one release "
+                            f"time")
+        try:
+            return FrameTrace(
+                model_name=model,
+                releases_s=tuple(releases),
+                deadline_s=expect_number(mapping.get("deadline_s"),
+                                         spec_path(path, "deadline_s"),
+                                         minimum=0.0, exclusive=True),
+                fps=expect_number(mapping.get("fps"), spec_path(path, "fps"),
+                                  minimum=0.0, exclusive=True),
+            )
+        except WorkloadError as error:
+            raise SpecError(f"{path}: {error}") from None
+    check_keys(mapping, _STREAM_KEYS, path)
+    deadline = mapping.get("deadline_s")
+    if deadline is not None:
+        deadline = expect_number(deadline, spec_path(path, "deadline_s"),
+                                 minimum=0.0, exclusive=True)
+    try:
+        return StreamSpec(
+            model_name=model,
+            fps=expect_number(mapping.get("fps"), spec_path(path, "fps"),
+                              minimum=0.0, exclusive=True),
+            frames=expect_pos_int(mapping.get("frames"),
+                                  spec_path(path, "frames")),
+            phase_s=expect_number(mapping.get("phase_s", 0.0),
+                                  spec_path(path, "phase_s"), minimum=0.0),
+            jitter_s=_jitter_seconds(mapping, path),
+            seed=expect_int(mapping.get("seed", 0), spec_path(path, "seed")),
+            deadline_s=deadline,
+        )
+    except WorkloadError as error:
+        raise SpecError(f"{path}: {error}") from None
+
+
+def stream_to_spec(stream: Union[StreamSpec, FrameTrace]) -> Dict[str, object]:
+    """Serialise one stream so :func:`stream_from_spec` reloads it exactly."""
+    if isinstance(stream, FrameTrace):
+        return {
+            "model": stream.model_name,
+            "releases_s": list(stream.releases_s),
+            "deadline_s": stream.deadline_s,
+            "fps": stream.fps,
+        }
+    spec: Dict[str, object] = {
+        "model": stream.model_name,
+        "fps": stream.fps,
+        "frames": stream.frames,
+    }
+    if stream.phase_s:
+        spec["phase_s"] = stream.phase_s
+    if stream.jitter_s:
+        spec["jitter_s"] = stream.jitter_s
+    if stream.seed:
+        spec["seed"] = stream.seed
+    if stream.deadline_s is not None:
+        spec["deadline_s"] = stream.deadline_s
+    return spec
+
+
+def streaming_from_spec(spec: Dict[str, object],
+                        path: str = "streaming") -> StreamingWorkload:
+    """Build a streaming workload from its declarative spec.
+
+    Two forms: the suite shorthand (``suite`` plus the
+    :func:`streaming_suite` knobs — ``frames`` / ``fps_scale`` /
+    ``jitter_ms`` / ``seed`` / ``stagger``) or an explicit ``name`` /
+    ``streams`` list, each entry a :func:`stream_from_spec` mapping.
+    """
+    mapping = expect_mapping(spec, path)
+    if "suite" in mapping:
+        check_keys(mapping, _SUITE_STREAM_KEYS, path)
+        suite = expect_choice(mapping["suite"], WORKLOAD_SUITES,
+                              spec_path(path, "suite"))
+        return streaming_suite(
+            suite,
+            frames=expect_pos_int(mapping.get("frames", 8),
+                                  spec_path(path, "frames")),
+            fps_scale=expect_number(mapping.get("fps_scale", 1.0),
+                                    spec_path(path, "fps_scale"),
+                                    minimum=0.0, exclusive=True),
+            jitter_s=_jitter_seconds(mapping, path),
+            seed=expect_int(mapping.get("seed", 0), spec_path(path, "seed")),
+            stagger=expect_bool(mapping.get("stagger", True),
+                                spec_path(path, "stagger")),
+        )
+    check_keys(mapping, ("name", "streams"), path)
+    name = expect_str(mapping.get("name", "custom-stream"),
+                      spec_path(path, "name"))
+    streams_path = spec_path(path, "streams")
+    entries = expect_list(mapping.get("streams"), streams_path) \
+        if "streams" in mapping else None
+    if not entries:
+        raise SpecError(f"{streams_path}: needs at least one stream")
+    streams = [stream_from_spec(entry, spec_path(streams_path, index))
+               for index, entry in enumerate(entries)]
+    try:
+        return StreamingWorkload(name=name, streams=streams)
+    except WorkloadError as error:
+        raise SpecError(f"{path}: {error}") from None
+
+
+def streaming_to_spec(workload: StreamingWorkload) -> Dict[str, object]:
+    """Serialise a streaming workload into its explicit-streams spec form.
+
+    ``streaming_from_spec(streaming_to_spec(w)) == w`` holds exactly for
+    workloads without custom model graphs (all floats are carried raw).
+    """
+    if workload.models:
+        raise SpecError(
+            f"streaming: {workload.name!r} carries custom model graphs, "
+            f"which cannot be serialised into a spec")
+    return {
+        "name": workload.name,
+        "streams": [stream_to_spec(stream) for stream in workload.streams],
+    }

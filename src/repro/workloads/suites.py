@@ -2,8 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple, Union
 
+from repro.exceptions import SpecError
+from repro.validation import (
+    check_keys,
+    expect_choice,
+    expect_list,
+    expect_mapping,
+    expect_pos_int,
+    expect_str,
+    spec_path,
+)
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -78,3 +88,88 @@ def workload_by_name(name: str) -> WorkloadSpec:
 def available_workloads() -> List[str]:
     """Names accepted by :func:`workload_by_name`."""
     return sorted(WORKLOAD_SUITES)
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+_WORKLOAD_KEYS = ("suite", "batch_size", "model", "batches", "name", "entries")
+
+
+def workload_from_spec(spec: Union[str, Dict[str, object]],
+                       path: str = "workload") -> WorkloadSpec:
+    """Build a workload from its declarative spec.
+
+    Three forms: a bare Table II suite name (``"arvr-a"``), a mapping naming
+    a ``suite`` (with an optional ``batch_size`` for ``mlperf``), a
+    single-model study (``model`` plus ``batches``), or an explicit
+    ``name`` / ``entries`` list of ``[model, batches]`` pairs.
+    """
+    if isinstance(spec, str):
+        expect_choice(spec, WORKLOAD_SUITES, path)
+        return workload_by_name(spec)
+    mapping = expect_mapping(spec, path)
+    check_keys(mapping, _WORKLOAD_KEYS, path)
+    if "suite" in mapping:
+        suite = expect_choice(mapping["suite"], WORKLOAD_SUITES,
+                              spec_path(path, "suite"))
+        if "batch_size" in mapping:
+            if suite != "mlperf":
+                raise SpecError(
+                    f"{spec_path(path, 'batch_size')}: only the 'mlperf' "
+                    f"suite takes a batch size")
+            return mlperf(expect_pos_int(mapping["batch_size"],
+                                         spec_path(path, "batch_size")))
+        return workload_by_name(suite)
+    if "model" in mapping:
+        model = expect_str(mapping["model"], spec_path(path, "model"))
+        batches = expect_pos_int(mapping.get("batches", 4),
+                                 spec_path(path, "batches"))
+        return single_model(model, batches)
+    if "entries" in mapping:
+        name = expect_str(mapping.get("name", "custom"),
+                          spec_path(path, "name"))
+        entries_path = spec_path(path, "entries")
+        entries: List[Tuple[str, int]] = []
+        for index, entry in enumerate(
+                expect_list(mapping["entries"], entries_path)):
+            entry_path = spec_path(entries_path, index)
+            pair = expect_list(entry, entry_path)
+            if len(pair) != 2:
+                raise SpecError(f"{entry_path}: expected a [model, batches] "
+                                f"pair (got {len(pair)} values)")
+            entries.append((expect_str(pair[0], spec_path(entry_path, 0)),
+                            expect_pos_int(pair[1], spec_path(entry_path, 1))))
+        if not entries:
+            raise SpecError(f"{entries_path}: needs at least one "
+                            f"[model, batches] pair")
+        return WorkloadSpec(name=name, entries=entries)
+    raise SpecError(f"{path}: expected a suite name, a 'suite' mapping, a "
+                    f"'model' mapping, or explicit 'entries'")
+
+
+def workload_to_spec(workload: WorkloadSpec) -> Union[str, Dict[str, object]]:
+    """Serialise a workload; known suites collapse to their compact form.
+
+    ``workload_from_spec(workload_to_spec(w)) == w`` holds for every workload
+    without custom (non-zoo) model graphs; custom graphs cannot be
+    serialised and raise :class:`~repro.exceptions.SpecError`.
+    """
+    if workload.models:
+        raise SpecError(
+            f"workload: {workload.name!r} carries custom model graphs, which "
+            f"cannot be serialised into a spec")
+    for suite_name, factory in WORKLOAD_SUITES.items():
+        if workload == factory():
+            return suite_name
+    batch_text = workload.name[len("mlperf-b"):]
+    if (workload.name.startswith("mlperf-b") and batch_text.isdigit()
+            and workload == mlperf(int(batch_text))):
+        return {"suite": "mlperf", "batch_size": int(batch_text)}
+    if len(workload.entries) == 1:
+        model, batches = workload.entries[0]
+        if workload.name == f"{model}-x{batches}":
+            return {"model": model, "batches": batches}
+    return {"name": workload.name,
+            "entries": [[model, batches]
+                        for model, batches in workload.entries]}

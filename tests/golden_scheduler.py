@@ -57,6 +57,7 @@ DSE_FILE = os.path.join(GOLDEN_DIR, "dse_rankings.json")
 STREAMING_FILE = os.path.join(GOLDEN_DIR, "streaming_timelines.json")
 FLEET_FILE = os.path.join(GOLDEN_DIR, "fleet_timelines.json")
 ONLINE_FILE = os.path.join(GOLDEN_DIR, "online_timelines.json")
+EXPERIMENTS_DIR = os.path.join(GOLDEN_DIR, "experiments")
 
 #: Workloads whose full timelines are stored inline (the rest store a digest).
 INLINE_WORKLOADS = ("chain", "diamond")
@@ -652,6 +653,53 @@ def generate_online_timelines() -> Dict[str, Dict[str, object]]:
 
 
 # ---------------------------------------------------------------------------
+# Experiment corpus golden (declarative spec files -> frozen reports)
+# ---------------------------------------------------------------------------
+def experiment_spec_files() -> List[str]:
+    """The checked-in experiment spec files, in deterministic order."""
+    names = [name for name in sorted(os.listdir(EXPERIMENTS_DIR))
+             if name.endswith((".json", ".yaml", ".yml"))
+             and not name.endswith(".report.json")]
+    return [os.path.join(EXPERIMENTS_DIR, name) for name in names]
+
+
+def experiment_report_file(spec_path: str) -> str:
+    """The frozen-report path of one experiment spec file."""
+    stem = os.path.splitext(spec_path)[0]
+    return f"{stem}.report.json"
+
+
+def run_experiment_report(spec_path: str) -> Dict[str, object]:
+    """Execute one golden experiment and return its canonical report.
+
+    The runner's human-readable output is swallowed (golden generation is
+    about the report document); ``canonical_report`` strips the run-varying
+    ``timing`` / ``environment`` sections so the record is reproducible.
+    """
+    import contextlib
+    import io
+
+    from repro.experiment import canonical_report, load_experiment, run_experiment
+
+    spec = load_experiment(spec_path)
+    with contextlib.redirect_stdout(io.StringIO()):
+        outcome = run_experiment(spec)
+    if outcome.exit_code != 0 or outcome.report is None:
+        raise RuntimeError(f"golden experiment {spec_path!r} failed with "
+                           f"exit code {outcome.exit_code}")
+    return canonical_report(outcome.report)
+
+
+def write_experiments_golden() -> None:
+    """(Re)generate the frozen reports of the experiment corpus only."""
+    for spec_path in experiment_spec_files():
+        report = run_experiment_report(spec_path)
+        with open(experiment_report_file(spec_path), "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
 # DSE ranking golden
 # ---------------------------------------------------------------------------
 def _dse_workload() -> WorkloadSpec:
@@ -753,6 +801,10 @@ if __name__ == "__main__":
     elif "--write-online" in sys.argv:
         write_online_golden()
         print(f"wrote {ONLINE_FILE}")
+    elif "--write-experiments" in sys.argv:
+        write_experiments_golden()
+        print(f"wrote {len(experiment_spec_files())} report(s) under "
+              f"{EXPERIMENTS_DIR}")
     elif "--write" in sys.argv:
         # The batch files pin the *seed* implementation: regenerating them
         # from current code would make the 192-scenario equivalence gate pass
@@ -773,6 +825,6 @@ if __name__ == "__main__":
     else:
         print("usage: python tests/golden_scheduler.py "
               "--write [--force] | --write-streaming | --write-fleet | "
-              "--write-online",
+              "--write-online | --write-experiments",
               file=sys.stderr)
         raise SystemExit(2)
