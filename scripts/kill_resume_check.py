@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI crash-recovery gate: SIGKILL a checkpointed sweep, resume, diff zero.
+
+Flow:
+
+1. run a DSE experiment cleanly and write its report;
+2. launch the same experiment with ``--checkpoint``, wait for the
+   checkpoint journal to grow past its header (completed results are
+   appended as they land), then ``SIGKILL`` the process mid-sweep;
+3. resume with ``--checkpoint FILE --resume`` and require that (a) the run
+   reports resumed records and (b) ``herald report-diff`` between the
+   resumed and the clean report is clean at zero tolerance.
+
+The sweep is sized (mobile chip, 16x8 search grid, ~15 s) so the kill
+lands while most of the grid is still unexplored; if the interrupted run
+finishes before the checkpoint materialises the script fails loudly
+rather than passing vacuously.
+
+Usage: ``PYTHONPATH=src python scripts/kill_resume_check.py``
+Exit code 0 when the resumed report is bit-identical, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SPEC = {
+    "kind": "dse",
+    "name": "kill-resume-gate",
+    "workload": "arvr-b",
+    "chip": "mobile",
+    "search": {"pe_steps": 16, "bw_steps": 8},
+}
+
+POLL_S = 0.05
+CHECKPOINT_WAIT_S = 120.0
+#: Journal size that proves completed results (not just the header) were
+#: persisted before the kill; one record is ~25 KB on this sweep.
+MIN_CKPT_BYTES = 200_000
+
+
+def _herald(*args):
+    return [sys.executable, "-m", "repro.cli", *args]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="kill-resume-") as tmp:
+        spec = os.path.join(tmp, "sweep.json")
+        clean = os.path.join(tmp, "clean.json")
+        resumed = os.path.join(tmp, "resumed.json")
+        ckpt = os.path.join(tmp, "sweep.ckpt")
+        with open(spec, "w", encoding="utf-8") as handle:
+            json.dump(SPEC, handle)
+
+        print("clean run...")
+        subprocess.run(_herald("run", spec, "--report", clean), check=True)
+
+        print("interrupted run (SIGKILL once the checkpoint has records)...")
+        proc = subprocess.Popen(
+            _herald("run", spec, "--checkpoint", ckpt),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + CHECKPOINT_WAIT_S
+
+        def _ckpt_size():
+            try:
+                return os.path.getsize(ckpt)
+            except OSError:
+                return 0
+
+        try:
+            while _ckpt_size() < MIN_CKPT_BYTES:
+                if proc.poll() is not None:
+                    print("FAIL: sweep finished before the checkpoint had "
+                          "records — nothing was interrupted; enlarge the "
+                          "search grid", file=sys.stderr)
+                    return 1
+                if time.monotonic() > deadline:
+                    print("FAIL: checkpoint never grew past its header",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(POLL_S)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait()
+        print(f"killed pid {proc.pid} with {_ckpt_size()} checkpoint bytes")
+
+        print("resumed run...")
+        result = subprocess.run(
+            _herald("run", spec, "--checkpoint", ckpt, "--resume",
+                    "--report", resumed),
+            check=True, capture_output=True, text=True)
+        sys.stdout.write(result.stdout)
+        if "resumed" not in result.stdout:
+            print("FAIL: resumed run did not report resumed checkpoint "
+                  "records", file=sys.stderr)
+            return 1
+
+        print("diffing resumed report against the clean run...")
+        diff = subprocess.run(
+            _herald("report-diff", resumed, clean, "--tolerance", "0"))
+        if diff.returncode != 0:
+            print("FAIL: resumed report differs from the uninterrupted run",
+                  file=sys.stderr)
+            return diff.returncode
+        print("kill-resume check passed: resumed report is bit-identical")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro import __version__
 from repro.accel.classes import ACCELERATOR_CLASSES
-from repro.exceptions import SpecError, WorkloadError
+from repro.exceptions import CheckpointError, SpecError, WorkloadError
 from repro.experiment.report import (
     compare_reports,
     load_report,
@@ -121,6 +121,35 @@ def _fault_clause(text: str) -> str:
     return text
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by the sweep commands (dse / fleet)."""
+    parser.add_argument("--max-retries", type=_int_at_least(0), default=None,
+                        metavar="N",
+                        help="re-run a crashed / hung / transiently failing "
+                             "task up to N times before recording a failure "
+                             "(default: fail fast on the first error)")
+    parser.add_argument("--task-timeout",
+                        type=_float_at_least(0.0, exclusive=True),
+                        default=None, metavar="SECONDS",
+                        help="per-task execution budget; a task exceeding it "
+                             "counts as hung and is retried or recorded as a "
+                             "timeout failure")
+    parser.add_argument("--partial-ok", action="store_true",
+                        help="rank whatever completed and report failed "
+                             "tasks as casualties instead of aborting the "
+                             "sweep")
+    _add_checkpoint_flags(parser)
+
+
+def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="record each completed task here (atomic "
+                             "writes), so a killed sweep can be resumed")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip tasks already recorded in --checkpoint "
+                             "and re-run only the rest")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="herald",
@@ -155,6 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--cache-file", default=None, metavar="PATH",
                      help="JSON file the cost-model cache is loaded from / saved to, "
                           "so repeated sweeps start warm")
+    _add_resilience_flags(dse)
     dse.add_argument("--report", default=None, metavar="PATH",
                      help="write the versioned JSON report here")
 
@@ -243,6 +273,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="resize the active fleet against observed "
                             "backlog every INTERVAL_MS milliseconds; needs "
                             "--online")
+    _add_resilience_flags(fleet)
     fleet.add_argument("--report", default=None, metavar="PATH",
                        help="write the versioned JSON report here")
 
@@ -257,6 +288,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "report; exit 1 on regression")
     run.add_argument("--tolerance", type=_float_at_least(0.0), default=0.0,
                      help="relative tolerance of the baseline comparison")
+    _add_checkpoint_flags(run)
 
     diff = sub.add_parser(
         "report-diff", help="diff two report files metric by metric")
@@ -297,14 +329,21 @@ def _command_describe() -> int:
 
 def _execute(mapping: Dict[str, object], report_path: Optional[str] = None,
              baseline_path: Optional[str] = None,
-             tolerance: float = 0.0) -> int:
+             tolerance: float = 0.0,
+             checkpoint_path: Optional[str] = None,
+             resume: bool = False) -> int:
     """Validate, run, and post-process one compiled experiment mapping."""
     try:
         spec = experiment_from_spec(mapping)
     except SpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    outcome = run_experiment(spec)
+    try:
+        outcome = run_experiment(spec, checkpoint_path=checkpoint_path,
+                                 resume=resume)
+    except (SpecError, CheckpointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if outcome.exit_code != 0 or outcome.report is None:
         return outcome.exit_code
     if report_path is not None:
@@ -333,7 +372,29 @@ def _command_schedule(args: argparse.Namespace) -> int:
     }, report_path=args.report)
 
 
+def _resilience_error(args: argparse.Namespace) -> Optional[str]:
+    """Cross-argument validation of the shared fault-tolerance flags."""
+    if args.resume and args.checkpoint is None:
+        return "--resume requires --checkpoint (nothing to resume from)"
+    return None
+
+
+def _compile_resilience(args: argparse.Namespace,
+                        exec_mapping: Dict[str, object]) -> None:
+    """Fold the fault-tolerance flags into an experiment exec mapping."""
+    if args.max_retries is not None:
+        exec_mapping["max_retries"] = args.max_retries
+    if args.task_timeout is not None:
+        exec_mapping["task_timeout_s"] = args.task_timeout
+    if args.partial_ok:
+        exec_mapping["partial_ok"] = True
+
+
 def _command_dse(args: argparse.Namespace) -> int:
+    error = _resilience_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     mapping: Dict[str, object] = {
         "kind": "dse",
         "workload": args.workload,
@@ -343,7 +404,9 @@ def _command_dse(args: argparse.Namespace) -> int:
     }
     if args.cache_file is not None:
         mapping["exec"]["cache_file"] = args.cache_file
-    return _execute(mapping, report_path=args.report)
+    _compile_resilience(args, mapping["exec"])
+    return _execute(mapping, report_path=args.report,
+                    checkpoint_path=args.checkpoint, resume=args.resume)
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -384,6 +447,15 @@ def _command_fleet(args: argparse.Namespace) -> int:
         print("error: --jitter-ms applies to the periodic trace only; "
               "--traffic arrivals are already stochastic", file=sys.stderr)
         return 2
+    error = _resilience_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.online and (args.checkpoint or args.partial_ok):
+        print("error: --checkpoint/--partial-ok apply to the a-priori task "
+              "sweep; the --online event engine has no task bag to "
+              "checkpoint", file=sys.stderr)
+        return 2
     mapping: Dict[str, object] = {
         "kind": "closed-loop" if args.online else "fleet",
         "workload": args.workload,
@@ -397,6 +469,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
                       "max_chips": args.max_chips},
         "exec": {"jobs": args.jobs},
     }
+    _compile_resilience(args, mapping["exec"])
     if args.traffic:
         mapping["traffic"] = args.traffic
     if args.fault:
@@ -404,17 +477,23 @@ def _command_fleet(args: argparse.Namespace) -> int:
     if args.autoscale is not None:
         mapping["autoscale"] = {"interval_ms": args.autoscale,
                                 "max_chips": args.chips}
-    return _execute(mapping, report_path=args.report)
+    return _execute(mapping, report_path=args.report,
+                    checkpoint_path=args.checkpoint, resume=args.resume)
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    error = _resilience_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     try:
         mapping = load_config(args.experiment)
     except SpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     return _execute(mapping, report_path=args.report,
-                    baseline_path=args.baseline, tolerance=args.tolerance)
+                    baseline_path=args.baseline, tolerance=args.tolerance,
+                    checkpoint_path=args.checkpoint, resume=args.resume)
 
 
 def _command_report_diff(args: argparse.Namespace) -> int:

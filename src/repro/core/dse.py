@@ -72,12 +72,23 @@ class DesignSpacePoint:
 
 @dataclass
 class DSEResult:
-    """Full outcome of one Herald DSE run (one workload on one chip class)."""
+    """Full outcome of one Herald DSE run (one workload on one chip class).
+
+    ``failures`` is non-empty only for ``partial_ok`` explorations that lost
+    tasks to exhausted retry budgets: the surviving points are ranked as
+    usual and the casualties stay visible as structured records.
+    ``resumed_tasks`` / ``executed_tasks`` / ``retried_attempts`` carry the
+    checkpoint/retry bookkeeping of resilient runs (zero on the plain path).
+    """
 
     workload_name: str
     chip_name: str
     points: List[DesignSpacePoint] = field(default_factory=list)
     elapsed_s: float = 0.0
+    failures: Tuple["TaskFailure", ...] = ()
+    resumed_tasks: int = 0
+    executed_tasks: int = 0
+    retried_attempts: int = 0
 
     def by_category(self, category: str) -> List[DesignSpacePoint]:
         """All evaluated points of one category (``fda``, ``sm-fda``, ``rda``, ``hda``)."""
@@ -123,8 +134,12 @@ class DSEResult:
             })
         return rows
 
+    def failure_rows(self) -> List[Dict[str, object]]:
+        """Terminal task failures as report-friendly rows (empty when clean)."""
+        return [failure.summary() for failure in self.failures]
+
     def describe(self) -> str:
-        """Multi-line summary: best design per category."""
+        """Multi-line summary: best design per category (and any casualties)."""
         lines = [f"Design space for {self.workload_name} on {self.chip_name} "
                  f"({len(self.points)} points, {self.elapsed_s:.1f} s)"]
         for row in self.summary_rows():
@@ -133,6 +148,11 @@ class DSEResult:
                 f"latency {row['latency_s'] * 1e3:9.2f} ms  "
                 f"energy {row['energy_mj']:9.1f} mJ  EDP {row['edp_js']:.4g} J*s"
             )
+        if self.failures:
+            lines.append(f"  WARNING: {len(self.failures)} task(s) failed "
+                         f"after retries (ranked surviving points only):")
+            for failure in self.failures:
+                lines.append(f"    {failure.describe()}")
         return "\n".join(lines)
 
 
@@ -217,7 +237,9 @@ class HeraldDSE:
     def explore(self, workload: WorkloadSpec, chip: ChipConfig,
                 include_rda: bool = True, include_smfda: bool = True,
                 include_three_way: bool = True,
-                hda_combinations: Optional[Sequence[Sequence[DataflowStyle]]] = None
+                hda_combinations: Optional[Sequence[Sequence[DataflowStyle]]] = None,
+                partial_ok: bool = False,
+                checkpoint: Optional["SweepCheckpoint"] = None
                 ) -> DSEResult:
         """Evaluate the full accelerator design space for one workload and chip.
 
@@ -225,6 +247,14 @@ class HeraldDSE:
         to the configured execution backend; with the binary partition-search
         strategy a second, refinement round is submitted around the best coarse
         partition of each HDA combination.
+
+        With ``partial_ok``, tasks that exhaust the backend's retry budget are
+        dropped from the ranking and surfaced as :attr:`DSEResult.failures`
+        instead of aborting the sweep.  ``checkpoint`` threads a
+        :class:`~repro.exec.checkpoint.SweepCheckpoint` through both rounds
+        (scopes ``"dse"`` and ``"dse-refine"``): completed evaluations are
+        recorded as they arrive and a resumed run re-executes only the
+        missing tasks, producing the identical design space.
 
         The whole sweep shares one deduped per-shape cost table: every task
         references this one ``workload`` object, whose
@@ -241,10 +271,11 @@ class HeraldDSE:
         tasks = list(self.enumerate_tasks(
             workload, chip, include_rda=include_rda, include_smfda=include_smfda,
             hda_combinations=combos))
-        evaluations = self.backend.run(tasks)
+        completed = self._run_round(tasks, result, partial_ok, checkpoint,
+                                    scope="dse")
 
         hda_points: Dict[str, List[PartitionPoint]] = {}
-        for task, evaluation in zip(tasks, evaluations):
+        for task, evaluation in completed:
             result.points.append(DesignSpacePoint(
                 category=task.category, design=task.design, result=evaluation))
             if task.category == "hda":
@@ -256,15 +287,37 @@ class HeraldDSE:
 
         if self.partition_search.strategy == "binary" and hda_points:
             self._refine_hdas(result, workload, chip, hda_points, combos,
-                              first_task_id=len(tasks))
+                              first_task_id=len(tasks), partial_ok=partial_ok,
+                              checkpoint=checkpoint)
 
         result.elapsed_s = time.perf_counter() - start
         return result
 
+    def _run_round(self, tasks: List["EvaluationTask"], result: DSEResult,
+                   partial_ok: bool, checkpoint: Optional["SweepCheckpoint"],
+                   scope: str) -> List[Tuple["EvaluationTask", EvaluationResult]]:
+        """Submit one round of tasks, via the resilient path when needed.
+
+        The plain ``backend.run`` path is kept for backends that only
+        implement the minimal protocol (and for the default configuration,
+        where it is bit-for-bit the historical behaviour).
+        """
+        resilient = getattr(self.backend, "run_resilient", None)
+        if resilient is None or (not partial_ok and checkpoint is None):
+            return list(zip(tasks, self.backend.run(tasks)))
+        outcome = resilient(tasks, partial_ok=partial_ok,
+                            checkpoint=checkpoint, scope=scope)
+        result.failures = result.failures + outcome.failures
+        result.resumed_tasks += outcome.resumed_tasks
+        result.executed_tasks += outcome.executed_tasks
+        result.retried_attempts += outcome.retried_attempts
+        return outcome.completed(tasks)
+
     def _refine_hdas(self, result: DSEResult, workload: WorkloadSpec,
                      chip: ChipConfig, hda_points: Dict[str, List[PartitionPoint]],
                      combos: Sequence[Tuple[DataflowStyle, ...]],
-                     first_task_id: int) -> None:
+                     first_task_id: int, partial_ok: bool = False,
+                     checkpoint: Optional["SweepCheckpoint"] = None) -> None:
         """Second (binary-refinement) round around each combo's best partition."""
         from repro.exec.tasks import EvaluationTask
 
@@ -279,7 +332,9 @@ class HeraldDSE:
                     task_id, design, workload, category="hda", group=group,
                     pe_partition=tuple(pes), bw_partition_gbps=tuple(bws)))
                 task_id += 1
-        for task, evaluation in zip(refine_tasks, self.backend.run(refine_tasks)):
+        completed = self._run_round(refine_tasks, result, partial_ok,
+                                    checkpoint, scope="dse-refine")
+        for task, evaluation in completed:
             result.points.append(DesignSpacePoint(
                 category="hda", design=task.design, result=evaluation))
 

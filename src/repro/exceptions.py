@@ -51,3 +51,56 @@ class SpecError(ReproError):
     value (``fleet.chips[2].num_pes: expected a positive int``), so a user can
     find the line in their experiment file without reading any source.
     """
+
+
+class WorkerCrash(ReproError):
+    """A worker process died (or a chaos backend simulated its death).
+
+    Classified as a ``"crash"`` :class:`~repro.exec.resilience.TaskFailure`:
+    the task did not misbehave by itself — the process executing it went away
+    — so retrying on a fresh worker is always legitimate.
+    """
+
+
+class WorkerHang(ReproError):
+    """A task exceeded its execution-time budget (or a chaos backend
+    simulated the hang).
+
+    Classified as a ``"timeout"`` :class:`~repro.exec.resilience.TaskFailure`.
+    In a process pool the real mechanism is the stall watchdog killing the
+    hung worker; serial and chaos backends raise this exception directly so
+    the classification path is identical (and testable without sleeping).
+    """
+
+
+class TransientEvaluationError(ReproError):
+    """A task evaluation failed in a way expected to succeed on retry.
+
+    The canonical retryable error (chaos injection raises it; user-supplied
+    evaluation code may too).  Classified as an ``"error"``
+    :class:`~repro.exec.resilience.TaskFailure` once retries are exhausted.
+    """
+
+
+class TaskExecutionError(ReproError):
+    """One or more evaluation tasks failed after exhausting their retries.
+
+    Raised by ``ExecutionBackend.run`` when a retry policy is configured and
+    failures remain; carries the structured
+    :class:`~repro.exec.resilience.TaskFailure` records so callers can log or
+    surface exactly which tasks were lost.  Backends running in
+    ``run_partial`` mode return the failures instead of raising.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = tuple(failures)
+        preview = "; ".join(failure.describe() for failure in self.failures[:3])
+        suffix = " ..." if len(self.failures) > 3 else ""
+        super().__init__(
+            f"{len(self.failures)} task(s) failed after retries: "
+            f"{preview}{suffix}")
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file cannot be used (corrupted, wrong schema
+    version, or recorded under a different sweep key)."""

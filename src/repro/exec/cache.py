@@ -9,7 +9,19 @@ second run of the same DSE performs zero cold cost-model evaluations.
 The file format is a plain JSON document (one ``entries`` list of serialized
 ``(cache key, LayerCost)`` pairs).  A corrupted or unreadable file is treated
 as an empty cache — the sweep simply starts cold — so a half-written file can
-never break an exploration.
+never break an exploration.  Writes are crash-safe: :meth:`save` goes through
+a sibling temp file that is fsynced and ``os.replace``\\ d over the target, so
+a kill mid-save leaves the previous complete file; the corrupted-fallback
+path therefore only triggers for external damage, and when it does the
+:attr:`PersistentCostCache.fallback_count` counter records it explicitly.
+
+For long sweeps the cache can additionally keep an **append-only journal**
+(``<path>.journal``): :meth:`attach` hooks the cost model so every newly
+computed memo entry is buffered and appended — one JSON line per entry,
+fsynced — every ``journal_every`` evaluations.  A killed run then loses at
+most ``journal_every - 1`` cost entries: the next :meth:`load` replays the
+journal over the main file (tolerating a torn final line) and the next
+:meth:`save` folds the replayed entries in and truncates the journal.
 
 Since format version 3 the cache key is shape-based: the layer component of
 the key is :attr:`~repro.models.layer.Layer.shape_key` (no ``name`` /
@@ -142,15 +154,32 @@ class PersistentCostCache:
     path:
         JSON file the memo is spilled to.  A missing file is an empty cache;
         an unreadable or malformed file is treated as empty as well (the
-        :attr:`corrupted` flag records that this happened).
+        :attr:`corrupted` flag records that this happened and
+        :attr:`fallback_count` counts how many times it has).
     autoload:
         Load the file immediately (default).  Pass ``False`` to start empty
         and call :meth:`load` explicitly.
+    journal_every:
+        When > 0, every ``journal_every`` newly computed memo entries are
+        appended (fsynced) to the sibling ``<path>.journal`` file, bounding
+        how much cost-model work a killed run can lose.  Requires
+        :meth:`attach`\\ ing the cost model.  0 disables journalling.
     """
 
-    def __init__(self, path: str, autoload: bool = True) -> None:
+    def __init__(self, path: str, autoload: bool = True,
+                 journal_every: int = 0) -> None:
+        if journal_every < 0:
+            raise ReproError(
+                f"journal_every must be >= 0 (got {journal_every})")
         self.path = path
+        self.journal_every = journal_every
         self.corrupted = False
+        #: Times a load fell back to a cold start on a damaged file.  The
+        #: fallback keeps sweeps running, but it silently costs a warm cache —
+        #: callers surface this counter as an explicit warning.
+        self.fallback_count = 0
+        #: Entries recovered from the append-only journal on the last load.
+        self.journal_replayed = 0
         #: Version of a recognised legacy cache file that was discarded on
         #: load (``None`` when the file was current or absent).  A discarded
         #: legacy file is a planned one-time cold start, not corruption.
@@ -158,8 +187,14 @@ class PersistentCostCache:
         self._entries: Dict[Tuple, LayerCost] = {}
         self._fingerprint: Optional[str] = None
         self._dirty = False
+        self._journal_buffer: List[Tuple[Tuple, LayerCost]] = []
         if autoload:
             self.load()
+
+    @property
+    def journal_path(self) -> str:
+        """The sibling append-only journal file."""
+        return self.path + ".journal"
 
     # ------------------------------------------------------------------
     # File I/O
@@ -169,48 +204,93 @@ class PersistentCostCache:
 
         Any failure — missing file, bad JSON, wrong version, malformed
         entries — falls back to an empty cache rather than raising, so a
-        corrupted cache file degrades to a cold start.  A file written by a
-        recognised *older* format (full-``Layer`` keys, versions 1-2) is not
-        corruption: it is discarded transparently (the key schemes must never
-        mix) and :attr:`discarded_version` records the migration.
+        corrupted cache file degrades to a cold start (counted in
+        :attr:`fallback_count`).  A file written by a recognised *older*
+        format (full-``Layer`` keys, versions 1-2) is not corruption: it is
+        discarded transparently (the key schemes must never mix) and
+        :attr:`discarded_version` records the migration.  Entries surviving
+        only in the append-only journal of a killed run are replayed on top.
         """
         self._entries = {}
         self._fingerprint = None
         self._dirty = False
         self.corrupted = False
         self.discarded_version = None
-        if not os.path.exists(self.path):
-            return 0
-        try:
-            with open(self.path, "r") as handle:
-                payload = json.load(handle)
-            version = payload.get("version")
-            if version in _LEGACY_CACHE_VERSIONS:
-                # Old key scheme: start cold and let the next save rewrite the
-                # file in the current format.
-                self.discarded_version = version
-                self._dirty = True
-                return 0
-            if version != CACHE_FORMAT_VERSION:
-                raise ValueError(f"unsupported cache version {version!r}")
-            fingerprint = payload["fingerprint"]
-            entries = {}
-            for raw in payload["entries"]:
-                key, cost = _entry_from_json(raw)
-                entries[key] = cost
-            self._fingerprint = fingerprint
-            self._entries = entries
-        # ReproError covers semantically invalid entries (e.g. a hand-edited
-        # layer with k=0, rejected by Layer.__post_init__): corruption of any
-        # kind degrades to a cold start, never to a failed exploration.
-        except (OSError, ValueError, KeyError, TypeError, ReproError):
-            self._entries = {}
-            self._fingerprint = None
-            self.corrupted = True
+        self.journal_replayed = 0
+        self._journal_buffer = []
+        if os.path.exists(self.path):
+            try:
+                with open(self.path, "r") as handle:
+                    payload = json.load(handle)
+                version = payload.get("version")
+                if version in _LEGACY_CACHE_VERSIONS:
+                    # Old key scheme: start cold and let the next save rewrite
+                    # the file in the current format.
+                    self.discarded_version = version
+                    self._dirty = True
+                elif version != CACHE_FORMAT_VERSION:
+                    raise ValueError(f"unsupported cache version {version!r}")
+                else:
+                    fingerprint = payload["fingerprint"]
+                    entries = {}
+                    for raw in payload["entries"]:
+                        key, cost = _entry_from_json(raw)
+                        entries[key] = cost
+                    self._fingerprint = fingerprint
+                    self._entries = entries
+            # ReproError covers semantically invalid entries (e.g. a
+            # hand-edited layer with k=0, rejected by Layer.__post_init__):
+            # corruption of any kind degrades to a cold start, never to a
+            # failed exploration.
+            except (OSError, ValueError, KeyError, TypeError, ReproError):
+                self._entries = {}
+                self._fingerprint = None
+                self.corrupted = True
+                self.fallback_count += 1
+        if self.discarded_version is None:
+            self._replay_journal()
         return len(self._entries)
+
+    def _replay_journal(self) -> None:
+        """Recover entries a killed run appended after its last full save.
+
+        The journal is strictly newer than the main file (a successful save
+        truncates it), so replayed entries win over nothing and merge over
+        the loaded set.  A torn final line — the expected shape of a
+        mid-append kill — is skipped; any earlier damage stops the replay at
+        the last intact line rather than discarding the whole journal.
+        """
+        if not os.path.exists(self.journal_path):
+            return
+        replayed = 0
+        try:
+            with open(self.journal_path, "r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        key, cost = _entry_from_json(json.loads(line))
+                    except (ValueError, KeyError, TypeError, ReproError):
+                        break
+                    if key not in self._entries:
+                        self._entries[key] = cost
+                        replayed += 1
+        except OSError:
+            return
+        self.journal_replayed = replayed
+        if replayed:
+            # The recovered entries only exist in the journal; mark dirty so
+            # the next save folds them into the main file.
+            self._dirty = True
 
     def save(self) -> int:
         """Atomically write all entries to :attr:`path`; returns the count."""
+        # Journalled entries not yet captured from the model fold into this
+        # save, so truncating the journal below can never drop them.
+        for key, cost in self._journal_buffer:
+            if key not in self._entries:
+                self._entries[key] = cost
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "fingerprint": self._fingerprint,
@@ -218,17 +298,30 @@ class PersistentCostCache:
         }
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        # Write-then-rename so a crash mid-save leaves the old file intact.
+        # Write-then-fsync-then-rename so a crash at any instant leaves either
+        # the old complete file or the new complete file on disk.
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_path, self.path)
         except BaseException:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
             raise
         self._dirty = False
+        # Every journalled entry is now in the main file; an empty journal
+        # (rather than a deleted one) keeps replay-after-save a no-op without
+        # racing a concurrent reader of the path.
+        self._journal_buffer = []
+        if os.path.exists(self.journal_path):
+            try:
+                with open(self.journal_path, "w"):
+                    pass
+            except OSError:
+                pass
         return len(self._entries)
 
     def save_if_dirty(self) -> int:
@@ -286,9 +379,54 @@ class PersistentCostCache:
             if key not in self._entries:
                 self._entries[key] = cost
                 new += 1
+                if self.journal_every:
+                    self._journal(key, cost)
         if new:
             self._dirty = True
         return new
+
+    # ------------------------------------------------------------------
+    # Append-only journal
+    # ------------------------------------------------------------------
+    def attach(self, cost_model: CostModel) -> None:
+        """Journal every entry ``cost_model`` computes from now on.
+
+        Installs the model's ``new_entry_hook`` (no-op when ``journal_every``
+        is 0).  The hook is deliberately not shipped to pool workers — the
+        parent journals worker entries when it absorbs them.
+        """
+        if self.journal_every:
+            cost_model.new_entry_hook = self._journal
+
+    def _journal(self, key: Tuple, cost: LayerCost) -> None:
+        self._journal_buffer.append((key, cost))
+        if len(self._journal_buffer) >= self.journal_every:
+            self.flush_journal()
+
+    def flush_journal(self) -> int:
+        """Append buffered entries to the journal file; returns the count.
+
+        Appends are fsynced, so once this returns the entries survive a
+        SIGKILL.  A journal I/O failure must never fail the sweep: the
+        entries stay buffered (still folded into the next full save) and the
+        error is recorded like a save error would be.
+        """
+        if not self._journal_buffer:
+            return 0
+        lines = [json.dumps(_entry_to_json(key, cost))
+                 for key, cost in self._journal_buffer]
+        directory = os.path.dirname(os.path.abspath(self.journal_path))
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with open(self.journal_path, "a") as handle:
+                handle.write("\n".join(lines) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            return 0
+        flushed = len(self._journal_buffer)
+        self._journal_buffer = []
+        return flushed
 
     def _compatible_with(self, cost_model: CostModel) -> bool:
         return (self._fingerprint is None
@@ -303,10 +441,13 @@ class PersistentCostCache:
     def describe(self) -> str:
         """One-line description used by the CLI."""
         if self.corrupted:
-            state = "corrupted, starting cold"
+            state = ("corrupted, starting cold "
+                     f"(fallback #{self.fallback_count})")
         elif self.discarded_version is not None:
             state = (f"discarded legacy v{self.discarded_version} file, "
                      "starting cold")
         else:
             state = f"{len(self)} entries"
+        if self.journal_replayed:
+            state += f", {self.journal_replayed} replayed from journal"
         return f"persistent cost cache at {self.path} ({state})"

@@ -25,8 +25,19 @@ from repro.accel.design import AcceleratorDesign
 from repro.core import HeraldDSE, HeraldScheduler, evaluate_design
 from repro.core.partitioner import PartitionSearch, search_from_spec
 from repro.dataflow import NVDLA, SHIDIANNAO, style_by_name
-from repro.exceptions import SearchError, SpecError, WorkloadError
-from repro.exec import PersistentCostCache, ProcessPoolBackend, SerialBackend
+from repro.exceptions import (
+    SearchError,
+    SpecError,
+    TaskExecutionError,
+    WorkloadError,
+)
+from repro.exec import (
+    PersistentCostCache,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepCheckpoint,
+    sweep_key_from,
+)
 from repro.experiment.report import build_report
 from repro.experiment.spec import ExperimentSpec
 from repro.maestro import CostModel
@@ -81,16 +92,40 @@ def _streaming_workload(spec: ExperimentSpec) -> StreamingWorkload:
                            jitter_s=knobs.jitter_ms / 1e3, seed=knobs.seed)
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
-    """Run one experiment, print its CLI output, and build its report."""
+def run_experiment(spec: ExperimentSpec,
+                   checkpoint_path: Optional[str] = None,
+                   resume: bool = False) -> ExperimentOutcome:
+    """Run one experiment, print its CLI output, and build its report.
+
+    ``checkpoint_path`` / ``resume`` are run-site parameters, not spec
+    keys: *where* a sweep persists its progress does not change *what* the
+    experiment is, so the report's spec echo (and hence ``report-diff``)
+    is identical between a clean run and a resumed one.  The checkpoint is
+    keyed by a hash of the spec mapping *minus its exec section* — the key
+    covers what the sweep computes, not how it executes, so a crashy run
+    may legitimately be resumed with more workers or retries, while
+    resuming against a different experiment fails fast instead of splicing
+    results.
+    """
+    checkpoint = None
+    if resume and checkpoint_path is None:
+        raise SpecError("resume: requires a checkpoint file")
+    if checkpoint_path is not None:
+        if spec.kind not in ("dse", "fleet"):
+            raise SpecError(f"checkpoint: a {spec.kind!r} experiment has no "
+                            f"task sweep to checkpoint")
+        keyed = {key: value for key, value in spec.raw.items()
+                 if key != "exec"}
+        checkpoint = SweepCheckpoint(checkpoint_path, sweep_key_from(keyed),
+                                     resume=resume)
     if spec.kind == "schedule":
         return _run_schedule(spec)
     if spec.kind == "dse":
-        return _run_dse(spec)
+        return _run_dse(spec, checkpoint)
     if spec.kind == "serve":
         return _run_serve(spec)
     if spec.kind in ("fleet", "closed-loop"):
-        return _run_fleet(spec)
+        return _run_fleet(spec, checkpoint)
     raise SpecError(f"kind: unhandled experiment kind {spec.kind!r}")
 
 
@@ -124,27 +159,38 @@ def _run_schedule(spec: ExperimentSpec) -> ExperimentOutcome:
 # ---------------------------------------------------------------------------
 # dse
 # ---------------------------------------------------------------------------
-def _run_dse(spec: ExperimentSpec) -> ExperimentOutcome:
+def _run_dse(spec: ExperimentSpec,
+             checkpoint: Optional[SweepCheckpoint] = None) -> ExperimentOutcome:
     cost_model = CostModel()
     scheduler = HeraldScheduler(cost_model)
     cache = (PersistentCostCache(spec.exec_settings.cache_file)
              if spec.exec_settings.cache_file else None)
+    policy = spec.exec_settings.retry_policy()
     if spec.exec_settings.jobs > 1:
         backend = ProcessPoolBackend(jobs=spec.exec_settings.jobs,
                                      cost_model=cost_model,
-                                     scheduler=scheduler, cache=cache)
+                                     scheduler=scheduler, cache=cache,
+                                     retry_policy=policy)
     else:
         backend = SerialBackend(cost_model=cost_model, scheduler=scheduler,
-                                cache=cache)
+                                cache=cache, retry_policy=policy)
     search = search_from_spec(spec.search, cost_model=cost_model,
                               scheduler=scheduler)
     dse = HeraldDSE(cost_model=cost_model, scheduler=scheduler,
                     partition_search=search, backend=backend)
-    space = dse.explore(spec.workload, spec.chip)
+    try:
+        space = dse.explore(spec.workload, spec.chip,
+                            partial_ok=spec.exec_settings.partial_ok,
+                            checkpoint=checkpoint)
+    except TaskExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExperimentOutcome(exit_code=3)
     print(space.describe())
     print(f"execution backend: {backend.describe()}")
     print(f"cost model: {backend.total_cold_evaluations} cold evaluations, "
           f"{backend.total_cache_hits} cache hits")
+    if checkpoint is not None:
+        print(checkpoint.describe())
     if cache is not None:
         print(cache.describe())
         if backend.cache_save_error is not None:
@@ -162,10 +208,21 @@ def _run_dse(spec: ExperimentSpec) -> ExperimentOutcome:
     details: Dict[str, object] = {
         "best_designs": best_designs,
         "points": len(space.points),
-        "cold_evaluations": backend.total_cold_evaluations,
-        "cache_hits": backend.total_cache_hits,
     }
-    return _finish(spec, metrics, details, {})
+    if space.failures:
+        details["failures"] = space.failure_rows()
+    # Evaluation/cache counters are run-site facts, not experiment results:
+    # a resumed sweep re-runs fewer tasks, so they live in the timing
+    # section that canonical_report strips — resumed and clean runs diff
+    # clean against each other.
+    timing: Dict[str, float] = {
+        "cold_evaluations": float(backend.total_cold_evaluations),
+        "cache_hits": float(backend.total_cache_hits),
+        "executed_tasks": float(space.executed_tasks),
+        "resumed_tasks": float(space.resumed_tasks),
+        "retried_attempts": float(space.retried_attempts),
+    }
+    return _finish(spec, metrics, details, timing)
 
 
 # ---------------------------------------------------------------------------
@@ -236,7 +293,9 @@ def _run_serve(spec: ExperimentSpec) -> ExperimentOutcome:
 # ---------------------------------------------------------------------------
 # fleet / closed-loop
 # ---------------------------------------------------------------------------
-def _run_fleet(spec: ExperimentSpec) -> ExperimentOutcome:
+def _run_fleet(spec: ExperimentSpec,
+               checkpoint: Optional[SweepCheckpoint] = None
+               ) -> ExperimentOutcome:
     cost_model = CostModel()
     scheduler = HeraldScheduler(cost_model, metric=spec.metric)
     design = _resolve_design(spec.design, spec.workload, spec.chip,
@@ -252,12 +311,15 @@ def _run_fleet(spec: ExperimentSpec) -> ExperimentOutcome:
 
     fleet = fleet_from_spec(spec.fleet, build_design)
     streaming = _streaming_workload(spec)
+    retries = spec.exec_settings.retry_policy()
     if spec.exec_settings.jobs > 1:
         backend = ProcessPoolBackend(jobs=spec.exec_settings.jobs,
                                      cost_model=cost_model,
-                                     scheduler=scheduler)
+                                     scheduler=scheduler,
+                                     retry_policy=retries)
     else:
-        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler)
+        backend = SerialBackend(cost_model=cost_model, scheduler=scheduler,
+                                retry_policy=retries)
     simulator = FleetSimulator(backend=backend)
 
     print(fleet.describe())
@@ -271,11 +333,16 @@ def _run_fleet(spec: ExperimentSpec) -> ExperimentOutcome:
                                                autoscale=spec.autoscale)
             result_report = online.report
         else:
-            result_report = simulator.simulate(streaming, fleet,
-                                               policy=spec.policy).report
+            result_report = simulator.simulate(
+                streaming, fleet, policy=spec.policy,
+                partial_ok=spec.exec_settings.partial_ok,
+                checkpoint=checkpoint).report
     except (SearchError, WorkloadError) as error:
         print(f"error: {error}", file=sys.stderr)
         return ExperimentOutcome(exit_code=2)
+    except TaskExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return ExperimentOutcome(exit_code=3)
     print(result_report.describe())
     if spec.online:
         stats = online.stats
@@ -304,10 +371,21 @@ def _run_fleet(spec: ExperimentSpec) -> ExperimentOutcome:
         details["online"] = stats.summary()
 
     if spec.min_chips.enabled:
-        search = min_chips_for_sla(simulator, streaming, design,
-                                   policy=spec.policy,
-                                   max_chips=spec.min_chips.max_chips)
+        try:
+            search = min_chips_for_sla(
+                simulator, streaming, design, policy=spec.policy,
+                max_chips=spec.min_chips.max_chips,
+                partial_ok=spec.exec_settings.partial_ok,
+                checkpoint=checkpoint)
+        except TaskExecutionError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return ExperimentOutcome(exit_code=3)
         print(search.describe())
         metrics["min_chips_for_sla"] = float(search.chips)
         details["min_chips_evaluations"] = search.evaluations
+    if checkpoint is not None:
+        print(checkpoint.describe())
+    failed = getattr(result_report, "failed_chips", ())
+    if failed:
+        details["failed_chips"] = list(failed)
     return _finish(spec, metrics, details, {})

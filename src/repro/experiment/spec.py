@@ -75,7 +75,8 @@ _STREAMING_KNOB_KEYS = ("frames", "fps_scale", "jitter_ms", "seed")
 _TRAFFIC_KEYS = ("kind",) + tuple(_SHAPE_DEFAULTS)
 _SUSTAINED_KEYS = ("enabled", "lo", "hi", "probes", "tolerance")
 _MIN_CHIPS_KEYS = ("enabled", "max_chips")
-_EXEC_KEYS = ("jobs", "cache_file")
+_EXEC_KEYS = ("jobs", "cache_file", "max_retries", "task_timeout_s",
+              "partial_ok")
 
 
 @dataclass(frozen=True)
@@ -117,10 +118,31 @@ class MinChipsSettings:
 
 @dataclass(frozen=True)
 class ExecSettings:
-    """Execution-backend settings (worker processes, persistent cache)."""
+    """Execution-backend settings (worker processes, persistent cache,
+    fault-tolerance knobs).
+
+    ``max_retries`` / ``task_timeout_s`` build a
+    :class:`~repro.exec.RetryPolicy` for the backend when either is set;
+    ``partial_ok`` lets a sweep rank whatever completed and report the
+    casualties instead of aborting on the first exhausted task.
+    """
 
     jobs: int = 1
     cache_file: Optional[str] = None
+    max_retries: Optional[int] = None
+    task_timeout_s: Optional[float] = None
+    partial_ok: bool = False
+
+    def retry_policy(self) -> Optional["RetryPolicy"]:
+        """The retry policy these settings imply, or None for legacy
+        fail-fast execution."""
+        if self.max_retries is None and self.task_timeout_s is None:
+            return None
+        from repro.exec import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=2 if self.max_retries is None else self.max_retries,
+            task_timeout_s=self.task_timeout_s)
 
 
 @dataclass(frozen=True)
@@ -262,7 +284,30 @@ def _exec_settings(mapping: Dict[str, object], path: str,
     if jobs > 1 and kind in ("schedule", "serve"):
         raise SpecError(f"{spec_path(path, 'jobs')}: a {kind!r} experiment "
                         f"runs in-process (jobs must be 1)")
-    return ExecSettings(jobs=jobs, cache_file=cache_file)
+    for knob in ("max_retries", "task_timeout_s"):
+        if knob in mapping and kind in ("schedule", "serve"):
+            raise SpecError(f"{spec_path(path, knob)}: a {kind!r} experiment "
+                            f"runs in-process (no execution backend to make "
+                            f"resilient)")
+    if "partial_ok" in mapping and kind not in ("dse", "fleet"):
+        raise SpecError(f"{spec_path(path, 'partial_ok')}: only 'dse' and "
+                        f"'fleet' experiments rank partial sweeps")
+    max_retries = mapping.get("max_retries")
+    if max_retries is not None:
+        max_retries = expect_int(max_retries, spec_path(path, "max_retries"))
+        if max_retries < 0:
+            raise SpecError(f"{spec_path(path, 'max_retries')}: expected a "
+                            f"non-negative int (got {max_retries})")
+    task_timeout_s = mapping.get("task_timeout_s")
+    if task_timeout_s is not None:
+        task_timeout_s = expect_number(task_timeout_s,
+                                       spec_path(path, "task_timeout_s"),
+                                       minimum=0.0, exclusive=True)
+    partial_ok = expect_bool(mapping.get("partial_ok", False),
+                             spec_path(path, "partial_ok"))
+    return ExecSettings(jobs=jobs, cache_file=cache_file,
+                        max_retries=max_retries,
+                        task_timeout_s=task_timeout_s, partial_ok=partial_ok)
 
 
 def _validate_fleet(mapping: Dict[str, object], path: str,

@@ -21,7 +21,7 @@ list before estimating anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import HardwareConfigError
 from repro.units import cycles_to_seconds, picojoules_to_millijoules
@@ -215,6 +215,12 @@ class CostModel:
         self._cache: Dict[Tuple, LayerCost] = {}
         self.hits = 0
         self.misses = 0
+        #: Optional ``(key, cost)`` callback fired when a *computed* entry is
+        #: memoised (not on :meth:`install_cached` warm starts).  The
+        #: persistent cache uses it for its append-only journal.  Never
+        #: pickled: a hook bound to a parent-process journal must not follow
+        #: the model into pool workers (see :meth:`__getstate__`).
+        self.new_entry_hook: Optional[Callable[[Tuple, LayerCost], None]] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -251,6 +257,8 @@ class CostModel:
             cost = self._estimate_on(layer, sub_accelerator.dataflow, sub_accelerator,
                                      reconfigurable=False)
         self._cache[key] = cost
+        if self.new_entry_hook is not None:
+            self.new_entry_hook(key, cost)
         return cost
 
     def layer_cost_with_style(self, layer: Layer, style: DataflowStyle,
@@ -325,6 +333,14 @@ class CostModel:
         """Zero the hit/miss counters (the memo itself is kept)."""
         self.hits = 0
         self.misses = 0
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The new-entry hook is parent-process state (it appends to the
+        # persistent cache's journal file); shipping it into pool workers
+        # would journal every entry twice from processes that share the file.
+        state = dict(self.__dict__)
+        state["new_entry_hook"] = None
+        return state
 
     def clear_cache(self) -> None:
         """Drop all memoised results."""

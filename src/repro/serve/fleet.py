@@ -39,6 +39,7 @@ from repro.core.schedule import LOAD_IMBALANCE_UNUSED_SENTINEL, Schedule
 from repro.core.scheduler import HeraldScheduler
 from repro.exceptions import SpecError, WorkloadError
 from repro.exec.backends import ExecutionBackend, SerialBackend
+from repro.exec.checkpoint import SweepCheckpoint
 from repro.exec.tasks import EvaluationTask
 from repro.maestro.cost import CostModel
 from repro.serve.router import (
@@ -168,6 +169,10 @@ class FleetReport:
     #: Closed-loop bookkeeping (:class:`repro.serve.online.OnlineStats`);
     #: ``None`` on a-priori reports, whose summaries are unchanged.
     online: Optional["OnlineStats"] = None  # noqa: F821
+    #: Chips whose simulation exhausted the execution backend's retry budget
+    #: in a ``partial_ok`` run.  Their frames are absent from the pooled
+    #: statistics; a fleet with casualties never :attr:`meets_sla`.
+    failed_chips: Tuple[str, ...] = ()
 
     @property
     def total_frames(self) -> int:
@@ -197,8 +202,14 @@ class FleetReport:
 
     @property
     def meets_sla(self) -> bool:
-        """True when no frame in the fleet missed its deadline."""
-        return self.missed_frames == 0
+        """True when no frame missed its deadline and no chip was lost.
+
+        A ``partial_ok`` casualty hides its frames from the pooled latency
+        statistics, so a report with failed chips must never pass for a
+        healthy one — :func:`min_chips_for_sla` relies on this to count a
+        failed probe as not meeting the SLA.
+        """
+        return self.missed_frames == 0 and not self.failed_chips
 
     def _pooled(self, q: float) -> float:
         if not self.frame_latencies_s:
@@ -269,6 +280,10 @@ class FleetReport:
         }
         if self.online is not None:
             summary["online"] = self.online.summary()
+        # Only on degraded reports, so healthy summaries (and the golden
+        # corpus pinning them) are unchanged.
+        if self.failed_chips:
+            summary["failed_chips"] = list(self.failed_chips)
         return summary
 
     def describe(self) -> str:
@@ -284,6 +299,10 @@ class FleetReport:
         ]
         for stats in self.chips:
             lines.append("  " + stats.describe())
+        if self.failed_chips:
+            lines.append(
+                f"  WARNING: {len(self.failed_chips)} chip simulation(s) "
+                f"failed after retries: {', '.join(self.failed_chips)}")
         return "\n".join(lines)
 
 
@@ -393,15 +412,28 @@ class FleetSimulator:
         self.estimator = FrameCostEstimator(self.backend.cost_model)
 
     def simulate(self, streaming: StreamingWorkload, fleet: Fleet,
-                 policy: Union[str, DispatchPolicy] = "round-robin"
-                 ) -> FleetResult:
-        """Route the workload over the fleet and aggregate the SLA report."""
+                 policy: Union[str, DispatchPolicy] = "round-robin",
+                 partial_ok: bool = False,
+                 checkpoint: Optional["SweepCheckpoint"] = None,
+                 scope: str = "fleet") -> FleetResult:
+        """Route the workload over the fleet and aggregate the SLA report.
+
+        With ``partial_ok``, a chip whose simulation exhausts the backend's
+        retry budget becomes a casualty (reported through
+        :attr:`FleetReport.failed_chips`) instead of aborting the fleet.
+        ``checkpoint`` records completed per-chip simulations under ``scope``
+        so an interrupted fleet sweep resumes only the missing chips.
+        """
         router = Router(policy, estimator=self.estimator)
         plan = router.dispatch(streaming, fleet.chips)
-        return self._simulate_plan(streaming, fleet, plan)
+        return self._simulate_plan(streaming, fleet, plan,
+                                   partial_ok=partial_ok,
+                                   checkpoint=checkpoint, scope=scope)
 
     def _simulate_plan(self, streaming: StreamingWorkload, fleet: Fleet,
-                       plan: DispatchPlan) -> FleetResult:
+                       plan: DispatchPlan, partial_ok: bool = False,
+                       checkpoint: Optional["SweepCheckpoint"] = None,
+                       scope: str = "fleet") -> FleetResult:
         """Simulate an already-routed dispatch plan chip by chip.
 
         Shared by the a-priori path and the reduced (feedback-disabled)
@@ -415,14 +447,25 @@ class FleetSimulator:
             in enumerate(zip(fleet.chips, plan.chip_workloads))
             if workload is not None
         ]
-        evaluations = {task.task_id: result for task, result
-                       in zip(tasks, self.backend.run(tasks))}
+        failed_ids: frozenset = frozenset()
+        resilient = getattr(self.backend, "run_resilient", None)
+        if resilient is not None and (partial_ok or checkpoint is not None):
+            outcome = resilient(tasks, partial_ok=partial_ok,
+                                checkpoint=checkpoint, scope=scope)
+            evaluations = dict(outcome.results)
+            failed_ids = frozenset(outcome.failed_task_ids)
+        else:
+            evaluations = {task.task_id: result for task, result
+                           in zip(tasks, self.backend.run(tasks))}
 
         chip_results: List[ChipServingResult] = []
+        failed_chips: List[str] = []
         for index, chip in enumerate(fleet.chips):
             workload = plan.chip_workloads[index]
             clock = chip.sub_accelerators[0].clock_hz
-            if workload is None:
+            if workload is None or index in failed_ids:
+                if index in failed_ids:
+                    failed_chips.append(chip.name)
                 chip_results.append(ChipServingResult(
                     chip=chip,
                     report=ServingReport(
@@ -444,6 +487,7 @@ class FleetSimulator:
                 frame_latencies_s=latencies, missed_frame_ids=missed))
 
         report = self._aggregate(streaming, fleet, plan, chip_results)
+        report.failed_chips = tuple(failed_chips)
         return FleetResult(report=report, plan=plan,
                            chip_results=tuple(chip_results))
 
@@ -604,7 +648,10 @@ def min_chips_for_sla(simulator: FleetSimulator,
                       streaming: StreamingWorkload,
                       design: AcceleratorDesign,
                       policy: Union[str, DispatchPolicy] = "earliest-completion",
-                      max_chips: int = 8) -> MinChipsResult:
+                      max_chips: int = 8,
+                      partial_ok: bool = False,
+                      checkpoint: Optional["SweepCheckpoint"] = None
+                      ) -> MinChipsResult:
     """Smallest homogeneous fleet of ``design`` serving with zero misses.
 
     The fleet analogue of :func:`~repro.serve.simulator.sustained_fps`:
@@ -612,6 +659,12 @@ def min_chips_for_sla(simulator: FleetSimulator,
     practical purposes (adding a replica only removes load from the others
     under every shipped policy).  At most ``2 + ceil(log2(max_chips))``
     simulations run: the two bracket probes plus the bisection.
+
+    ``checkpoint`` records each probe's per-chip simulations under a
+    ``chips<count>`` scope, so an interrupted bisection resumes without
+    re-simulating completed probes.  With ``partial_ok``, a probe that loses
+    a chip to exhausted retries counts as not meeting the SLA (see
+    :attr:`FleetReport.meets_sla`) instead of aborting the search.
     """
     if max_chips < 1:
         raise ValueError(f"max_chips must be >= 1 (got {max_chips})")
@@ -623,7 +676,10 @@ def min_chips_for_sla(simulator: FleetSimulator,
         nonlocal evaluations
         evaluations += 1
         fleet = Fleet.homogeneous(design, count)
-        result = simulator.simulate(streaming, fleet, policy=policy)
+        result = simulator.simulate(streaming, fleet, policy=policy,
+                                    partial_ok=partial_ok,
+                                    checkpoint=checkpoint,
+                                    scope=f"chips{count}")
         reports[count] = result.report
         return result.report.meets_sla
 
