@@ -10,6 +10,10 @@ performance trajectory is comparable across PRs:
   single sweep over the workload serves from the memo).  The hit rate is a
   pure function of the key scheme, so it doubles as the CI regression gate:
   if someone re-introduces identity fields into the key it drops immediately.
+  When numpy is importable the section also batch-estimates the same queries
+  through the vectorised cost core and asserts the table bitwise-identical to
+  the scalar estimator (``vectorized_identical``, a ``--check`` gate; skipped
+  as ``null`` on numpy-free interpreters).
 * **List-schedule scaling** — heap-based event-driven ``_list_schedule`` vs
   the retained quadratic reference implementation at n = 50 / 200 / 800 layer
   executions; the heap growth ratio should track O(n log n), the reference
@@ -42,6 +46,7 @@ import argparse
 import dataclasses
 import gc
 import json
+import math
 import os
 import sys
 import time
@@ -61,13 +66,14 @@ from repro.core.partitioner import PartitionSearch
 from repro.core.schedule import Schedule, SchedulingError
 from repro.core.scheduler import HeraldScheduler, _InstanceState
 from repro.dataflow import mapping as mapping_module
-from repro.dataflow.mapping import build_mapping, clear_mapping_cache
+from repro.dataflow.mapping import build_mapping
 from repro.dataflow.styles import NVDLA, SHIDIANNAO
 from repro.exec.backends import SerialBackend
 from repro.maestro import cost as cost_module
-from repro.maestro.cost import CostModel, metric_value
+from repro.maestro.batch import numpy_available
+from repro.maestro.cost import CostModel, clear_all_memos, metric_value
 from repro.maestro.hardware import SubAcceleratorConfig
-from repro.maestro.reuse import analyse_reuse, clear_reuse_cache
+from repro.maestro.reuse import analyse_reuse
 from repro.models.graph import ModelGraph
 from repro.models.layer import conv2d, pwconv
 from repro.accel.design import AcceleratorDesign, AcceleratorKind
@@ -111,6 +117,14 @@ class LegacyLayerCost(cost_module.LayerCost):
                 + self.energy_sram_pj + self.energy_dram_pj
                 + self.energy_overhead_pj)
 
+    @property
+    def latency_s(self):
+        return cost_module.cycles_to_seconds(self.latency_cycles, self.clock_hz)
+
+    @property
+    def edp(self):
+        return (self.energy_pj * 1e-12) * self.latency_s
+
 
 class LegacyCostModel(CostModel):
     """Emulates the seed memo key: the full ``Layer`` (identity included).
@@ -147,33 +161,72 @@ class _LegacyAssignment:
     data_ready_cycle: float = 0.0
 
 
+def _seed_search_factors(dims, budget):
+    """The seed's factor search: generic recursion over the spatial dims.
+
+    The overhaul replaced this with memoised explicit loops; the legacy arm
+    patches this copy back in so it pays the seed's per-call recursion (the
+    chosen factors are identical — only the work per call differs).
+    """
+    best_factors = {name: 1 for name, _, _ in dims}
+    best_steps = float("inf")
+    best_active = 1
+
+    def recurse(index, remaining_budget, chosen, steps, active):
+        nonlocal best_factors, best_steps, best_active
+        if index == len(dims):
+            if steps < best_steps or (steps == best_steps
+                                      and active < best_active):
+                best_steps = steps
+                best_active = active
+                best_factors = dict(chosen)
+            return
+        name, size, cap = dims[index]
+        limit = min(remaining_budget, cap)
+        for factor in mapping_module._candidate_factors(size, limit):
+            chosen[name] = factor
+            recurse(index + 1, remaining_budget // factor, chosen,
+                    steps * math.ceil(size / factor), active * factor)
+        chosen.pop(name, None)
+
+    recurse(0, budget, {}, 1, 1)
+    return best_factors, best_active
+
+
 @contextlib.contextmanager
 def legacy_estimator():
     """Run with the seed's uncached estimator internals.
 
     The overhaul memoised the mapper's divisor/candidate enumeration and the
-    per-(layer, style, PEs, buffer) reuse analysis; inside this context the
-    un-memoised originals are restored (and the caches cleared), so a legacy
-    measurement pays the seed's full estimation cost.
+    per-(layer, style, PEs, buffer) reuse analysis, re-keyed the mapping
+    memo on ``shape_key``, and specialised the factor search; inside this
+    context the un-memoised originals, the recursive search, and the seed's
+    full-``Layer`` mapping key are restored (and the caches cleared), so a
+    legacy measurement pays the seed's full estimation cost.
     """
-    clear_mapping_cache()
-    clear_reuse_cache()
+    clear_all_memos()
     patched_factors = mapping_module._candidate_factors
     patched_divisors = mapping_module._divisors
+    patched_search = mapping_module._search_factors
     patched_reuse = cost_module.analyse_layer_reuse
+    patched_memo_key = mapping_module._mapping_memo_key
     mapping_module._candidate_factors = patched_factors.__wrapped__
     mapping_module._divisors = patched_divisors.__wrapped__
+    mapping_module._search_factors = _seed_search_factors
     cost_module.analyse_layer_reuse = (
         lambda layer, style, num_pes, buffer_bytes:
         analyse_reuse(build_mapping(layer, style, num_pes), buffer_bytes))
+    mapping_module._mapping_memo_key = (
+        lambda layer, style, num_pes: (layer, style, num_pes))
     try:
         yield
     finally:
         mapping_module._candidate_factors = patched_factors
         mapping_module._divisors = patched_divisors
+        mapping_module._search_factors = patched_search
         cost_module.analyse_layer_reuse = patched_reuse
-        clear_mapping_cache()
-        clear_reuse_cache()
+        mapping_module._mapping_memo_key = patched_memo_key
+        clear_all_memos()
 
 
 class _LegacyInstanceState(_InstanceState):
@@ -399,19 +452,32 @@ def bench_cost_model(quick: bool) -> Dict[str, object]:
     layers = workload.all_layers()
     queries = len(layers) * len(accs)
 
-    legacy = LegacyCostModel()
+    legacy = LegacyCostModel(vectorized=False)
     with legacy_estimator():
         legacy_cold_s, _ = _timed(lambda: _query_pass(legacy, layers, accs))
 
-    clear_mapping_cache()
-    clear_reuse_cache()
-    model = CostModel()
+    clear_all_memos()
+    model = CostModel(vectorized=False)
     shape_cold_s, _ = _timed(lambda: _query_pass(model, layers, accs))
     cold_pass_hit_rate = model.hits / (model.hits + model.misses)
 
     warm_repeats = 3 if quick else 10
     warm_s, _ = _timed(lambda: [_query_pass(model, layers, accs)
                                 for _ in range(warm_repeats)])
+
+    clear_all_memos()
+    vector_cold_s = None
+    vectorized_identical = None
+    if numpy_available():
+        vector = CostModel(vectorized=True)
+        vector_cold_s, _ = _timed(
+            lambda: vector.batch_layer_costs(layers, accs))
+        vectorized_identical = all(
+            dataclasses.astuple(vector.layer_cost(layer, acc))
+            == dataclasses.astuple(model.layer_cost(layer, acc))
+            and repr(vector.layer_cost(layer, acc))
+            == repr(model.layer_cost(layer, acc))
+            for layer in layers for acc in accs)
 
     return {
         "workload": workload.name,
@@ -427,6 +493,11 @@ def bench_cost_model(quick: bool) -> Dict[str, object]:
         "cold_speedup": legacy_cold_s / shape_cold_s,
         "cold_pass_hit_rate": cold_pass_hit_rate,
         "warm_queries_per_s": warm_repeats * queries / warm_s,
+        "numpy_available": numpy_available(),
+        "vectorized_cold_s": vector_cold_s,
+        "vectorized_cold_speedup": (
+            shape_cold_s / vector_cold_s if vector_cold_s else None),
+        "vectorized_identical": vectorized_identical,
     }
 
 
@@ -552,8 +623,7 @@ def bench_explore(quick: bool) -> Dict[str, object]:
         }
 
     def run(model_cls, scheduler_cls):
-        clear_mapping_cache()
-        clear_reuse_cache()
+        clear_all_memos()
         model = model_cls()
         scheduler = scheduler_cls(model)
         search = PartitionSearch(cost_model=model, scheduler=scheduler,
@@ -816,7 +886,7 @@ def bench_closed_loop(quick: bool) -> Dict[str, object]:
 
 def run_all(quick: bool) -> Dict[str, object]:
     results: Dict[str, object] = {
-        "version": 1,
+        "version": 2,
         "mode": "quick" if quick else "full",
         "python": sys.version.split()[0],
     }
@@ -851,6 +921,9 @@ def check_against_baseline(results: Dict[str, object],
             f"cold-pass hit rate regressed: {measured:.4f} < recorded "
             f"baseline {recorded:.4f} (the memo key likely re-acquired "
             "identity fields)")
+    if results["cost_model"].get("vectorized_identical") is False:
+        failures.append("the vectorised cost table diverged bitwise from the "
+                        "scalar estimator")
     if not results["explore"]["rankings_identical"]:
         failures.append("legacy and current explore() rankings diverged")
     if not results["explore"]["point_metrics_identical"]:

@@ -271,6 +271,7 @@ class HeraldDSE:
         tasks = list(self.enumerate_tasks(
             workload, chip, include_rda=include_rda, include_smfda=include_smfda,
             hda_combinations=combos))
+        self._prewarm_round(tasks, workload)
         completed = self._run_round(tasks, result, partial_ok, checkpoint,
                                     scope="dse")
 
@@ -313,6 +314,37 @@ class HeraldDSE:
         result.retried_attempts += outcome.retried_attempts
         return outcome.completed(tasks)
 
+    def _prewarm_round(self, tasks: Sequence["EvaluationTask"],
+                       workload: WorkloadSpec) -> None:
+        """Batch-estimate every distinct configuration a round references.
+
+        The whole round draws from one cross product — the workload's deduped
+        shapes times the distinct sub-accelerator configurations its designs
+        contain — so the backend's cost model estimates it in one vectorised
+        pass up front and every candidate's scheduling turns into pure memo
+        lookups.  For a pool backend the warmed memo then ships to the
+        workers once with the pool initializer instead of trickling back
+        entry-by-entry from each task.  A persistent cache (if any) is warmed
+        in first so it still serves before anything is computed, and the
+        computed count is credited to the backend's cold-evaluation total —
+        the round computes exactly the entries the lazy path would have, so
+        reported totals are unchanged.
+        """
+        model = getattr(self.backend, "cost_model", None)
+        if model is None or not hasattr(model, "prewarm"):
+            return
+        warm_from_cache = getattr(self.backend, "_warm_from_cache", None)
+        if warm_from_cache is not None:
+            warm_from_cache()
+        distinct: Dict[Tuple, object] = {}
+        for task in tasks:
+            for acc in task.design.sub_accelerators:
+                distinct.setdefault(model.hardware_key(acc), acc)
+        computed = model.prewarm(workload.unique_shape_layers(),
+                                 list(distinct.values()))
+        if hasattr(self.backend, "total_cold_evaluations"):
+            self.backend.total_cold_evaluations += computed
+
     def _refine_hdas(self, result: DSEResult, workload: WorkloadSpec,
                      chip: ChipConfig, hda_points: Dict[str, List[PartitionPoint]],
                      combos: Sequence[Tuple[DataflowStyle, ...]],
@@ -332,6 +364,7 @@ class HeraldDSE:
                     task_id, design, workload, category="hda", group=group,
                     pe_partition=tuple(pes), bw_partition_gbps=tuple(bws)))
                 task_id += 1
+        self._prewarm_round(refine_tasks, workload)
         completed = self._run_round(refine_tasks, result, partial_ok,
                                     checkpoint, scope="dse-refine")
         for task, evaluation in completed:

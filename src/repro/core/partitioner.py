@@ -315,13 +315,13 @@ class PartitionSearch:
         for design in designs:
             for acc in design.sub_accelerators:
                 distinct.setdefault(self.cost_model.hardware_key(acc), acc)
-        # Warmed per configuration, not through batch_layer_costs: candidates
-        # reuse sub-accelerator *names* ("hda-0", ...) across different
-        # configurations, and the batch table is name-keyed within one design.
-        representatives = workload.unique_shape_layers()
-        for acc in distinct.values():
-            for layer in representatives:
-                self.cost_model.layer_cost(layer, acc)
+        # Warmed through :meth:`CostModel.prewarm`, not batch_layer_costs:
+        # candidates reuse sub-accelerator *names* ("hda-0", ...) across
+        # different configurations, and the batch table is name-keyed within
+        # one design.  prewarm keys purely by hardware, and batch-estimates
+        # each configuration's missing shapes in one vectorised pass.
+        self.cost_model.prewarm(workload.unique_shape_layers(),
+                                list(distinct.values()))
         return len(distinct)
 
     # ------------------------------------------------------------------

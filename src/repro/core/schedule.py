@@ -19,6 +19,8 @@ case.
 from __future__ import annotations
 
 import math
+import operator
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -418,6 +420,27 @@ class Schedule:
         SchedulingError
             If any constraint is violated.
         """
+        cls = type(self)
+        if (cls._validate_no_overlap is Schedule._validate_no_overlap
+                and cls._validate_dependences is Schedule._validate_dependences
+                and cls._validate_completeness
+                is Schedule._validate_completeness):
+            # One grouping pass over the entries feeds the overlap, dependence,
+            # and completeness checks, instead of each check re-scanning the
+            # full entry list.  Subclasses overriding a check (the benchmark's
+            # seed emulation) keep the historical per-check scans below.
+            by_acc: Dict[str, List[ScheduledLayer]] = defaultdict(list)
+            by_instance: Dict[str, List[ScheduledLayer]] = defaultdict(list)
+            for entry in self.entries:
+                by_acc[entry.sub_accelerator].append(entry)
+                by_instance[entry.instance_id].append(entry)
+            self._check_no_overlap(by_acc)
+            self._check_dependences(by_instance)
+            if self.instance_release_cycles:
+                self._validate_release_times()
+            if expected_layers is not None:
+                self._check_completeness(expected_layers, by_instance)
+            return
         self._validate_no_overlap()
         self._validate_dependences()
         if self.instance_release_cycles:
@@ -437,14 +460,40 @@ class Schedule:
                         f"{previous.finish_cycle:.0f}"
                     )
 
+    def _check_no_overlap(self, by_acc: Dict[str, List[ScheduledLayer]]
+                          ) -> None:
+        """:meth:`_validate_no_overlap` over pre-grouped per-accelerator rows."""
+        by_start = operator.attrgetter("start_cycle", "finish_cycle")
+        for name in self.sub_accelerator_names:
+            timeline = by_acc.get(name)
+            if not timeline:
+                continue
+            timeline.sort(key=by_start)
+            previous = timeline[0]
+            for current in timeline[1:]:
+                if current.start_cycle < previous.finish_cycle - 1e-6:
+                    raise SchedulingError(
+                        f"sub-accelerator {name!r}: {current.instance_id}/"
+                        f"{current.layer.name} starts at {current.start_cycle:.0f} before "
+                        f"{previous.instance_id}/{previous.layer.name} finishes at "
+                        f"{previous.finish_cycle:.0f}"
+                    )
+                previous = current
+
     def _validate_dependences(self) -> None:
         # One grouping pass over the entries instead of a per-instance scan:
         # validation is O(entries + instances), not O(entries * instances).
-        by_instance: Dict[str, List[ScheduledLayer]] = {}
+        by_instance: Dict[str, List[ScheduledLayer]] = defaultdict(list)
         for entry in self.entries:
-            by_instance.setdefault(entry.instance_id, []).append(entry)
+            by_instance[entry.instance_id].append(entry)
+        self._check_dependences(by_instance)
+
+    def _check_dependences(self, by_instance: Dict[str, List[ScheduledLayer]]
+                           ) -> None:
+        """:meth:`_validate_dependences` over pre-grouped per-instance chains."""
+        by_layer_index = operator.attrgetter("layer_index")
         for instance_id, chain in by_instance.items():
-            chain.sort(key=lambda entry: entry.layer_index)
+            chain.sort(key=by_layer_index)
             indices = [entry.layer_index for entry in chain]
             if len(set(indices)) != len(indices):
                 raise SchedulingError(
@@ -460,6 +509,26 @@ class Schedule:
                                   chain: Sequence[ScheduledLayer],
                                   predecessors: Sequence[FrozenSet[int]]) -> None:
         """Every layer starts only after each of its true producers finishes."""
+        # ``chain`` arrives sorted by layer index with duplicates rejected, so
+        # when it is exactly the full 0..n-1 range (the fully-scheduled common
+        # case) position == layer index and producers resolve by list
+        # indexing, skipping the by-index dict entirely.
+        if (len(chain) == len(predecessors) and chain
+                and chain[0].layer_index == 0
+                and chain[-1].layer_index == len(chain) - 1):
+            for entry in chain:
+                start_cycle = entry.start_cycle
+                for producer_index in predecessors[entry.layer_index]:
+                    producer = chain[producer_index]
+                    if start_cycle < producer.finish_cycle - 1e-6:
+                        raise SchedulingError(
+                            f"instance {instance_id!r}: layer "
+                            f"{entry.layer.name!r} starts at "
+                            f"{entry.start_cycle:.0f} before its producer "
+                            f"{producer.layer.name!r} finishes at "
+                            f"{producer.finish_cycle:.0f}"
+                        )
+            return
         by_index = {entry.layer_index: entry for entry in chain}
         for entry in chain:
             if not 0 <= entry.layer_index < len(predecessors):
@@ -522,6 +591,24 @@ class Schedule:
                     f"found {actual}"
                 )
         unexpected = set(scheduled) - set(expected_layers)
+        if unexpected:
+            raise SchedulingError(
+                f"schedule contains unknown instances: {sorted(unexpected)!r}"
+            )
+
+    def _check_completeness(self, expected_layers: Dict[str, int],
+                            by_instance: Dict[str, List[ScheduledLayer]]
+                            ) -> None:
+        """:meth:`_validate_completeness` over pre-grouped per-instance chains."""
+        for instance_id, expected in expected_layers.items():
+            chain = by_instance.get(instance_id)
+            actual = len(chain) if chain is not None else 0
+            if actual != expected:
+                raise SchedulingError(
+                    f"instance {instance_id!r}: expected {expected} scheduled layers, "
+                    f"found {actual}"
+                )
+        unexpected = set(by_instance) - set(expected_layers)
         if unexpected:
             raise SchedulingError(
                 f"schedule contains unknown instances: {sorted(unexpected)!r}"

@@ -43,6 +43,7 @@ heap complexity argument is unchanged (data readiness still only grows).
 from __future__ import annotations
 
 import heapq
+import operator
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
@@ -64,6 +65,16 @@ ORDERINGS = ("breadth", "depth")
 
 #: Metrics a user may optimise layer assignment for.
 METRICS = ("edp", "latency", "energy")
+
+#: Metric name -> the :class:`LayerCost` attribute caching its value.  The
+#: cached slots hold exactly what :func:`metric_value` computes (they are
+#: filled from the same expressions in ``LayerCost.__post_init__``), so
+#: ranking through them is bitwise identical to the per-call extraction.
+_METRIC_CACHED_ATTR = {"edp": "_edp", "latency": "_latency_s",
+                       "energy": "_energy_pj"}
+
+#: Preference-row sort key: (metric value, sub-accelerator name).
+_RANK_ORDER = operator.itemgetter(0, 1)
 
 
 def checked_release_cycles(release_cycles: Optional[Mapping[str, float]],
@@ -256,7 +267,7 @@ class HeraldScheduler:
         #: row per shape), so re-scheduling on a known design is pure lookups.
         self._rankings_memo: Dict[Tuple, Dict[Tuple, List[Tuple[float, str,
                                                                 LayerCost,
-                                                                float]]]] = {}
+                                                                float, int]]]] = {}
 
     def __getstate__(self) -> Dict[str, object]:
         # Schedulers ship to pool workers alongside their cost model; the
@@ -289,11 +300,24 @@ class HeraldScheduler:
         instances = workload.instances()
         releases = checked_release_cycles(release_cycles, instances)
         dependences = workload.instance_dependences()
-        assignments = self._initial_assignment(workload, sub_accelerators)
-        if self.enable_post_processing:
+        cls = type(self)
+        if (self.memory_limit_bytes is None and self.enable_post_processing
+                and cls._initial_assignment is HeraldScheduler._initial_assignment
+                and cls._list_schedule is HeraldScheduler._list_schedule
+                and cls._choose_sub_accelerator
+                is HeraldScheduler._choose_sub_accelerator):
+            # Fused fast path (the DSE-sweep regime): both passes run over the
+            # precomputed design-independent visiting order, making decision
+            # for decision the same choices as the two-pass path below.
+            # Subclasses that override either pass (the hot-path benchmark's
+            # seed emulation does) keep the general path.
+            schedule = self._schedule_fast(workload, sub_accelerators, releases)
+        elif self.enable_post_processing:
+            assignments = self._initial_assignment(workload, sub_accelerators)
             schedule = self._list_schedule(assignments, sub_accelerators,
                                            release_cycles=releases)
         else:
+            assignments = self._initial_assignment(workload, sub_accelerators)
             schedule = self._replay_initial_order(assignments, sub_accelerators,
                                                   release_cycles=releases)
         schedule.instance_predecessors = dependences
@@ -301,6 +325,312 @@ class HeraldScheduler:
             schedule.instance_release_cycles = releases
         expected = {instance.instance_id: instance.num_layers for instance in instances}
         schedule.validate(expected_layers=expected)
+        return schedule
+
+    # ------------------------------------------------------------------
+    # Fused fast path (no memory limit): both passes over a precomputed,
+    # design-independent visiting order
+    # ------------------------------------------------------------------
+    def _static_visit_order(self, workload: WorkloadSpec) -> Tuple:
+        """The design-independent structure of one workload's scheduling run.
+
+        With no memory limit, the visiting order (which instance's which layer
+        receives which ``order_index``) is a pure function of the workload and
+        the ordering policy — the defer/rescan machinery never fires and the
+        rotation over live instances is data-independent.  Likewise the
+        consumer lists and unmet-producer counts only encode the instance
+        DAGs.  Both are therefore computed once per (workload, ordering) and
+        memoised on the spec alongside its instance expansion, instead of
+        being rebuilt object-by-object for each of the thousands of candidate
+        designs of a sweep.
+
+        Returns parallel per-slot lists ``(layers, instance_ids,
+        layer_indices, shape_keys, unmet0, consumer_slots)`` where slot ==
+        ``order_index`` and ``consumer_slots[p]`` lists the slots consuming
+        slot ``p``'s output, in ascending (assignment) order.
+        """
+        snapshot = tuple(workload.entries)
+        memo = workload._static_order_memo
+        if memo is None:
+            memo = workload._static_order_memo = {}
+        cached = memo.get(self.ordering)
+        if cached is not None and cached[0] == snapshot:
+            return cached[1]
+
+        instances = workload.instances()
+        per_instance = [(instance.instance_id,
+                         instance.layers_in_dependence_order(),
+                         instance.predecessor_indices())
+                        for instance in instances]
+        breadth = self.ordering == "breadth"
+        visit_queue = [index for index, (_, layers, _) in enumerate(per_instance)
+                       if layers]
+        next_index = [0] * len(per_instance)
+        order: List[Tuple[int, int]] = []
+        slot_of: Dict[Tuple[int, int], int] = {}
+        while visit_queue:
+            inst = visit_queue[0]
+            layers = per_instance[inst][1]
+            total = len(layers)
+            position = next_index[inst]
+            while True:
+                slot_of[(inst, position)] = len(order)
+                order.append((inst, position))
+                position += 1
+                if breadth or position >= total:
+                    break
+            next_index[inst] = position
+            if position >= total:
+                visit_queue.pop(0)
+            else:
+                visit_queue.append(visit_queue.pop(0))
+
+        n = len(order)
+        slot_layers = [per_instance[inst][1][position]
+                       for inst, position in order]
+        instance_ids = [per_instance[inst][0] for inst, _ in order]
+        layer_indices = [position for _, position in order]
+        shape_keys = [layer.shape_key for layer in slot_layers]
+        unmet0 = [len(per_instance[inst][2][position])
+                  for inst, position in order]
+        consumer_slots: List[List[int]] = [[] for _ in range(n)]
+        for slot, (inst, position) in enumerate(order):
+            for producer in per_instance[inst][2][position]:
+                consumer_slots[slot_of[(inst, producer)]].append(slot)
+
+        payload = (slot_layers, instance_ids, layer_indices, shape_keys,
+                   unmet0, consumer_slots)
+        memo[self.ordering] = (snapshot, payload)
+        return payload
+
+    def _schedule_fast(self, workload: WorkloadSpec,
+                       sub_accelerators: Sequence[SubAcceleratorConfig],
+                       release_cycles: Optional[Mapping[str, float]] = None
+                       ) -> Schedule:
+        """Initial assignment + list schedule fused over slot index arrays.
+
+        Runs the exact decision sequence of :meth:`_initial_assignment`
+        followed by :meth:`_list_schedule` (the equivalence tests and golden
+        gates pin this bit-for-bit), but over the static per-slot arrays of
+        :meth:`_static_visit_order`: the per-design work is reduced to the
+        design-dependent choices themselves — sub-accelerator picks, load
+        fronts, and the event-driven timeline — with no per-layer record
+        objects and no per-design consumer-dict rebuild.
+        """
+        (slot_layers, instance_ids, layer_indices, shape_keys, unmet0,
+         consumer_slots) = self._static_visit_order(workload)
+        # Preference rows carry the dense sub-accelerator index in their
+        # trailing column, so the passes below never touch accelerator names.
+        rankings = self._shape_rankings(workload, sub_accelerators)
+        names = [acc.name for acc in sub_accelerators]
+        n_accs = len(names)
+
+        # --- Pass 1: per-slot sub-accelerator choice (Fig. 8) -------------
+        # One loop variant per design arity, selected once: the row count
+        # equals the (fixed) sub-accelerator count, so the historical
+        # per-layer dispatch reduces to this single branch.  Note
+        # ``busy[aidx] = finish`` is the historical ``busy[aidx] += latency``
+        # with the already-computed sum reused.
+        n = len(slot_layers)
+        busy = [0.0] * n_accs
+        slot_acc = [0] * n
+        slot_cost: List[Optional[LayerCost]] = [None] * n
+        slot_latency = [0.0] * n
+        lb = self.load_balance_factor
+        self.last_memory_violations = 0
+        if lb is None or n_accs == 1:
+            # No balancing condition: every layer goes to its preferred
+            # sub-accelerator and the load fronts are never consulted.
+            for slot, shape in enumerate(shape_keys):
+                _, _, cost, latency, aidx = rankings[shape][0]
+                slot_acc[slot] = aidx
+                slot_cost[slot] = cost
+                slot_latency[slot] = latency
+        elif n_accs == 2:
+            for slot, shape in enumerate(shape_keys):
+                ranked = rankings[shape]
+                _, _, cost0, latency0, aidx0 = ranked[0]
+                _, _, cost1, latency1, aidx1 = ranked[1]
+                finish0 = busy[aidx0] + latency0
+                finish1 = busy[aidx1] + latency1
+                bound = lb * (finish0 if finish0 < finish1 else finish1)
+                if finish0 <= bound or finish1 > bound:
+                    slot_acc[slot] = aidx0
+                    slot_cost[slot] = cost0
+                    slot_latency[slot] = latency0
+                    busy[aidx0] = finish0
+                else:
+                    slot_acc[slot] = aidx1
+                    slot_cost[slot] = cost1
+                    slot_latency[slot] = latency1
+                    busy[aidx1] = finish1
+        elif n_accs == 3:
+            for slot, shape in enumerate(shape_keys):
+                ranked = rankings[shape]
+                _, _, cost0, latency0, aidx0 = ranked[0]
+                _, _, cost1, latency1, aidx1 = ranked[1]
+                _, _, cost2, latency2, aidx2 = ranked[2]
+                finish0 = busy[aidx0] + latency0
+                finish1 = busy[aidx1] + latency1
+                finish2 = busy[aidx2] + latency2
+                best_finish = finish0
+                if finish1 < best_finish:
+                    best_finish = finish1
+                if finish2 < best_finish:
+                    best_finish = finish2
+                bound = lb * best_finish
+                if finish1 <= bound < finish0:
+                    slot_acc[slot] = aidx1
+                    slot_cost[slot] = cost1
+                    slot_latency[slot] = latency1
+                    busy[aidx1] = finish1
+                elif finish2 <= bound < finish0:
+                    slot_acc[slot] = aidx2
+                    slot_cost[slot] = cost2
+                    slot_latency[slot] = latency2
+                    busy[aidx2] = finish2
+                else:
+                    slot_acc[slot] = aidx0
+                    slot_cost[slot] = cost0
+                    slot_latency[slot] = latency0
+                    busy[aidx0] = finish0
+        else:
+            # Generic preference-order walk (mirrors
+            # :meth:`_choose_sub_accelerator`).
+            for slot, shape in enumerate(shape_keys):
+                ranked = rankings[shape]
+                finishes = [busy[row[4]] + row[3] for row in ranked]
+                bound = lb * min(finishes)
+                _, _, cost, latency, aidx = ranked[0]
+                chosen = finishes[0]
+                for finish, row in zip(finishes, ranked):
+                    if finish <= bound:
+                        _, _, cost, latency, aidx = row
+                        chosen = finish
+                        break
+                slot_acc[slot] = aidx
+                slot_cost[slot] = cost
+                slot_latency[slot] = latency
+                busy[aidx] = chosen
+
+        # --- Pass 2: idle-eliminating list schedule (Fig. 9) --------------
+        schedule = self._empty_schedule(sub_accelerators)
+        unmet = unmet0[:]
+        if release_cycles:
+            released_at = release_cycles.get
+            data_ready = [released_at(instance_id, 0.0)
+                          for instance_id in instance_ids]
+        else:
+            data_ready = [0.0] * n
+        future: List[List[Tuple[float, int]]] = [[] for _ in range(n_accs)]
+        now: List[List[int]] = [[] for _ in range(n_accs)]
+        avail = [0.0] * n_accs
+        candidates: List[Optional[Tuple[float, int]]] = [None] * n_accs
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        for slot, blockers in enumerate(unmet):
+            if blockers == 0:
+                aidx = slot_acc[slot]
+                ready = data_ready[slot]
+                if ready <= 0.0:
+                    heappush(now[aidx], slot)
+                else:
+                    heappush(future[aidx], (ready, slot))
+        for idx in range(n_accs):
+            acc_now = now[idx]
+            acc_future = future[idx]
+            best: Optional[Tuple[float, int]] = None
+            if acc_now:
+                best = (0.0, acc_now[0])
+            if acc_future:
+                key = acc_future[0]
+                if best is None or key < best:
+                    best = key
+            candidates[idx] = best
+
+        entries_append = schedule.entries.append
+        indices = range(n_accs)
+        two = n_accs == 2
+        three = n_accs == 3
+        remaining = n
+        while remaining:
+            # Earliest candidate wins, ties to the lower index — the generic
+            # scan, unrolled for the dominant two/three-sub-accelerator
+            # design arities.
+            if two:
+                best = candidates[0]
+                best_idx = 0
+                key = candidates[1]
+                if key is not None and (best is None or key < best):
+                    best = key
+                    best_idx = 1
+            elif three:
+                best = candidates[0]
+                best_idx = 0
+                key = candidates[1]
+                if key is not None and (best is None or key < best):
+                    best = key
+                    best_idx = 1
+                key = candidates[2]
+                if key is not None and (best is None or key < best):
+                    best = key
+                    best_idx = 2
+            else:
+                best = None
+                best_idx = -1
+                for idx in indices:
+                    key = candidates[idx]
+                    if key is not None and (best is None or key < best):
+                        best = key
+                        best_idx = idx
+            if best is None:
+                raise SchedulingError(
+                    "post-processing dead-lock: no ready layer found; this indicates a bug"
+                )
+            start = best[0]
+            if start <= avail[best_idx]:
+                slot = heappop(now[best_idx])
+            else:
+                _, slot = heappop(future[best_idx])
+            finish = start + slot_latency[slot]
+            entries_append(ScheduledLayer(
+                slot_layers[slot], instance_ids[slot], layer_indices[slot],
+                names[best_idx], start, finish, slot_cost[slot]))
+            avail[best_idx] = finish
+            touched = [best_idx]
+            for consumer in consumer_slots[slot]:
+                unmet[consumer] -= 1
+                if finish > data_ready[consumer]:
+                    data_ready[consumer] = finish
+                if unmet[consumer] == 0:
+                    cidx = slot_acc[consumer]
+                    ready = data_ready[consumer]
+                    if ready <= avail[cidx]:
+                        heappush(now[cidx], consumer)
+                    else:
+                        heappush(future[cidx], (ready, consumer))
+                    if cidx not in touched:
+                        touched.append(cidx)
+            for idx in touched:
+                avail_idx = avail[idx]
+                acc_future = future[idx]
+                acc_now = now[idx]
+                while acc_future and acc_future[0][0] <= avail_idx:
+                    heappush(acc_now, heappop(acc_future)[1])
+                if acc_now:
+                    key = (avail_idx, acc_now[0])
+                    if acc_future:
+                        head = acc_future[0]
+                        if head[0] < avail_idx:
+                            key = head
+                elif acc_future:
+                    key = acc_future[0]
+                else:
+                    key = None
+                candidates[idx] = key
+            remaining -= 1
         return schedule
 
     # ------------------------------------------------------------------
@@ -350,6 +680,86 @@ class HeraldScheduler:
                          state.next_index >= len(state.layers))
 
         memory_limited = self.memory_limit_bytes is not None
+        if not memory_limited:
+            # Fast path — the DSE-sweep regime.  With no memory limit the scan
+            # in the general loop below always commits the queue head, so the
+            # defer/rescan machinery reduces to a rotation over live
+            # instances.  The body inlines ``commit`` (and the common
+            # :meth:`_choose_sub_accelerator` branches) but makes
+            # decision-for-decision the same choices.
+            breadth = self.ordering == "breadth"
+            lb = self.load_balance_factor
+            balanced = lb is not None and len(sub_accelerators) > 1
+            append = assignments.append
+            order_index = 0
+            while visit_queue:
+                state = states[visit_queue[0]]
+                layers = state.layers
+                total = len(layers)
+                next_index = state.next_index
+                instance_id = state.instance.instance_id
+                sorted_preds = state.sorted_predecessors
+                # Depth ordering keeps visiting this instance until it is
+                # exhausted; breadth rotates after every commit.
+                while True:
+                    layer = layers[next_index]
+                    ranked = rankings[layer.shape_key]
+                    if not balanced:
+                        _, acc_name, cost, latency, _ = ranked[0]
+                    elif len(ranked) == 2:
+                        _, name0, cost0, latency0, _ = ranked[0]
+                        _, name1, cost1, latency1, _ = ranked[1]
+                        finish0 = busy_cycles[name0] + latency0
+                        finish1 = busy_cycles[name1] + latency1
+                        bound = lb * (finish0 if finish0 < finish1 else finish1)
+                        if finish0 <= bound:
+                            acc_name, cost, latency = name0, cost0, latency0
+                        elif finish1 <= bound:
+                            acc_name, cost, latency = name1, cost1, latency1
+                        else:
+                            acc_name, cost, latency = name0, cost0, latency0
+                    elif len(ranked) == 3:
+                        # Three-way HDAs are the largest designs in the paper's
+                        # sweep; the unrolled walk mirrors the generic
+                        # preference-order loop decision for decision.
+                        _, name0, cost0, latency0, _ = ranked[0]
+                        _, name1, cost1, latency1, _ = ranked[1]
+                        _, name2, cost2, latency2, _ = ranked[2]
+                        finish0 = busy_cycles[name0] + latency0
+                        finish1 = busy_cycles[name1] + latency1
+                        finish2 = busy_cycles[name2] + latency2
+                        best_finish = finish0
+                        if finish1 < best_finish:
+                            best_finish = finish1
+                        if finish2 < best_finish:
+                            best_finish = finish2
+                        bound = lb * best_finish
+                        if finish0 <= bound:
+                            acc_name, cost, latency = name0, cost0, latency0
+                        elif finish1 <= bound:
+                            acc_name, cost, latency = name1, cost1, latency1
+                        elif finish2 <= bound:
+                            acc_name, cost, latency = name2, cost2, latency2
+                        else:
+                            acc_name, cost, latency = name0, cost0, latency0
+                    else:
+                        acc_name, cost, latency = self._choose_sub_accelerator(
+                            ranked, sub_accelerators, busy_cycles)
+                    append(_Assignment(order_index, instance_id, next_index,
+                                       layer, acc_name, cost, latency,
+                                       sorted_preds[next_index]))
+                    order_index += 1
+                    busy_cycles[acc_name] += latency
+                    next_index += 1
+                    if breadth or next_index >= total:
+                        break
+                state.next_index = next_index
+                if next_index >= total:
+                    visit_queue.pop(0)
+                else:
+                    visit_queue.append(visit_queue.pop(0))
+            return assignments
+
         while remaining:
             progressed = False
             deferred_position: Optional[int] = None
@@ -378,7 +788,8 @@ class HeraldScheduler:
 
     def _shape_rankings(self, workload: WorkloadSpec,
                         sub_accelerators: Sequence[SubAcceleratorConfig]
-                        ) -> Dict[Tuple, List[Tuple[float, str, LayerCost]]]:
+                        ) -> Dict[Tuple, List[Tuple[float, str, LayerCost,
+                                                    float, int]]]:
         """Per-shape sub-accelerator preference rankings, built once per design.
 
         The historical code re-queried the cost model and re-sorted the
@@ -386,8 +797,15 @@ class HeraldScheduler:
         committed layer; since the ranking depends only on the layer *shape*
         and the (fixed) design, it is precomputed here over the workload's
         deduped shape set — one batched cost query and one sort per unique
-        shape, shared by all its layer executions.  Rows are further memoised
-        across :meth:`schedule` calls keyed by the design's named hardware
+        shape, shared by all its layer executions.  Rows are
+        ``(metric value, name, cost, latency, sub-accelerator index)`` in
+        preference order: the named columns drive
+        :meth:`_choose_sub_accelerator`, the trailing dense index serves
+        :meth:`_schedule_fast`'s array passes.  Metric values and latencies
+        read the cost's cached scalars (filled from identical expressions in
+        ``LayerCost.__post_init__``), so the rows are bitwise equal to the
+        historical per-call extraction.  Rows are further memoised across
+        :meth:`schedule` calls keyed by the design's named hardware
         configuration, so repeated scheduling (partition refinement, workload
         studies on one design) skips even the per-shape lookups.
         """
@@ -401,14 +819,21 @@ class HeraldScheduler:
             return rankings
         table = self.cost_model.batch_layer_costs(representatives,
                                                   sub_accelerators)
+        names = [acc.name for acc in sub_accelerators]
+        attr = _METRIC_CACHED_ATTR.get(self.metric)
+        if attr is not None:
+            metric_of = operator.attrgetter(attr)
+        else:
+            metric = self.metric
+            metric_of = lambda cost: metric_value(cost, metric)  # noqa: E731
         for layer in representatives:
             shape = layer.shape_key
             ranked = []
-            for acc in sub_accelerators:
-                cost = table[(shape, acc.name)]
-                ranked.append((metric_value(cost, self.metric), acc.name, cost,
-                               cost.latency_cycles))
-            ranked.sort(key=lambda item: (item[0], item[1]))
+            for idx, name in enumerate(names):
+                cost = table[(shape, name)]
+                ranked.append((metric_of(cost), name, cost,
+                               cost._latency_cycles, idx))
+            ranked.sort(key=_RANK_ORDER)
             rankings[shape] = ranked
         return rankings
 
@@ -425,15 +850,15 @@ class HeraldScheduler:
         latency (precomputed so callers avoid a property chain per layer).
         """
         if self.load_balance_factor is None or len(sub_accelerators) == 1:
-            _, name, cost, latency = ranked[0]
+            _, name, cost, latency, _ = ranked[0]
             return name, cost, latency
 
         if len(ranked) == 2:
             # The two-sub-accelerator HDA is the common case; the allocation-
             # free unrolled walk below is decision-identical to the generic
             # loop that follows.
-            _, name0, cost0, latency0 = ranked[0]
-            _, name1, cost1, latency1 = ranked[1]
+            _, name0, cost0, latency0, _ = ranked[0]
+            _, name1, cost1, latency1, _ = ranked[1]
             finish0 = busy_cycles[name0] + latency0
             finish1 = busy_cycles[name1] + latency1
             bound = self.load_balance_factor * (
@@ -465,7 +890,7 @@ class HeraldScheduler:
                 return name, cost, latency
         # Unreachable in practice (the argmin always satisfies the bound), but
         # keep a deterministic fallback.
-        _, name, cost, latency = ranked[0]
+        _, name, cost, latency, _ = ranked[0]
         return name, cost, latency
 
     def _memory_allows(self, states: Sequence[_InstanceState], current: _InstanceState,
@@ -515,42 +940,52 @@ class HeraldScheduler:
         latest producer finish — so independent branches of one instance may
         run concurrently on different sub-accelerators.
 
-        Event-driven implementation, O(n log n) in the number of layer
-        executions.  Every committed layer is the global argmin of
-        ``(start, order_index)`` over all ready layers, where
-        ``start = max(sub-accelerator available, data ready)`` — exactly the
-        layer the quadratic full-rescan reference implementation
-        (:meth:`_list_schedule_reference`) picks, since ``order_index`` is
-        globally unique.  Three heap families make that argmin cheap:
-
-        * per sub-accelerator, a **future heap** keyed ``(data_ready,
-          order_index)`` holds ready layers whose data arrives after the
-          sub-accelerator frees up, and a **now heap** keyed ``order_index``
-          holds those already waiting on the array; entries migrate future ->
-          now as the availability front passes them, at most once each;
-        * a **global event heap** of ``(start, order_index, acc)`` candidates.
-          Whenever a sub-accelerator's state changes (it commits a layer, or a
-          newly-ready layer lands on it) its current best candidate is pushed;
-          stale entries are discarded on pop by recomputing the candidate.
-          Keys never decrease for a given assignment (availability and data
-          readiness only grow), so the freshest push is always authoritative.
+        Event-driven implementation, O(n·A + n log n) for n layer executions
+        on A sub-accelerators (A <= 3 for every design the paper evaluates).
+        Every committed layer is the global argmin of ``(start, order_index)``
+        over all ready layers, where ``start = max(sub-accelerator available,
+        data ready)`` — exactly the layer the quadratic full-rescan reference
+        implementation (:meth:`_list_schedule_reference`) picks, since
+        ``order_index`` is globally unique.  Per sub-accelerator, a **future
+        heap** keyed ``(data_ready, order_index)`` holds ready layers whose
+        data arrives after the sub-accelerator frees up, and a **now heap**
+        keyed ``order_index`` holds those already waiting on the array;
+        entries migrate future -> now as the availability front passes them,
+        at most once each.  The heads of the two heaps give each
+        sub-accelerator's best candidate, and each commit takes the minimum
+        over the A cached candidates directly, re-evaluating only the
+        sub-accelerators the commit touched (the committing array, plus any
+        array that received a newly-ready consumer — untouched candidates
+        stay valid because their heaps and availability are unchanged).  An
+        earlier revision routed the same candidates through a global event
+        heap with stale-entry discards; the heap bookkeeping cost more than
+        the quadratic rescan it replaced at small n (speedup 0.94 at n=50),
+        while the direct scan beats the reference at every size.
 
         ``release_cycles`` (online serving mode) seeds each layer's
         ``data_ready_cycle`` with its instance's release instead of ``0`` —
         the only change the streaming path makes.  Producers can only raise
         data readiness above the seed, so the never-decreasing-keys invariant
-        (and hence the heap argmin proof) carries over unchanged, and a
-        ``None`` / all-zero map is bit-for-bit the batch behaviour.
+        (and hence the per-accelerator argmin proof) carries over unchanged,
+        and a ``None`` / all-zero map is bit-for-bit the batch behaviour.
         """
         schedule = self._empty_schedule(sub_accelerators)
         #: Consumers of each produced tensor, keyed (instance id, layer index);
         #: finishing a layer decrements its consumers' unmet-producer counts.
         consumers: Dict[Tuple[str, int], List[_Assignment]] = {}
-        future: Dict[str, List[Tuple[float, int, _Assignment]]] = \
-            {acc.name: [] for acc in sub_accelerators}
-        now: Dict[str, List[Tuple[int, _Assignment]]] = \
-            {acc.name: [] for acc in sub_accelerators}
-        acc_avail: Dict[str, float] = {acc.name: 0.0 for acc in sub_accelerators}
+        # Sub-accelerators are addressed by dense index below; the loop body
+        # runs once per layer execution per candidate design, so the heaps,
+        # availability fronts, and cached candidates live in parallel lists
+        # and the refresh/enqueue helpers are inlined at their (two) use
+        # sites rather than paying a function call per commit.
+        names = [acc.name for acc in sub_accelerators]
+        n_accs = len(names)
+        acc_index = {name: idx for idx, name in enumerate(names)}
+        future: List[List[Tuple[float, int, _Assignment]]] = \
+            [[] for _ in range(n_accs)]
+        now: List[List[Tuple[int, _Assignment]]] = [[] for _ in range(n_accs)]
+        avail = [0.0] * n_accs
+        candidates: List[Optional[Tuple[float, int]]] = [None] * n_accs
 
         released_at = release_cycles.get if release_cycles else None
         for assignment in assignments:
@@ -561,99 +996,112 @@ class HeraldScheduler:
                 consumers.setdefault((assignment.instance_id, producer),
                                      []).append(assignment)
 
-        def enqueue_ready(assignment: _Assignment) -> None:
-            """File a ready layer under its sub-accelerator's heaps."""
-            acc_name = assignment.sub_accelerator
-            if assignment.data_ready_cycle <= acc_avail[acc_name]:
-                heapq.heappush(now[acc_name],
-                               (assignment.order_index, assignment))
-            else:
-                heapq.heappush(future[acc_name],
-                               (assignment.data_ready_cycle,
-                                assignment.order_index, assignment))
-
         heappush = heapq.heappush
         heappop = heapq.heappop
 
-        def best_candidate(acc_name: str) -> Optional[Tuple[float, int]]:
-            """Current best ``(start, order_index)`` on one sub-accelerator."""
-            avail = acc_avail[acc_name]
-            acc_future = future[acc_name]
-            acc_now = now[acc_name]
-            while acc_future and acc_future[0][0] <= avail:
-                _, order_index, assignment = heappop(acc_future)
-                heappush(acc_now, (order_index, assignment))
+        for assignment in assignments:
+            if assignment.unmet_producers == 0:
+                idx = acc_index[assignment.sub_accelerator]
+                data_ready = assignment.data_ready_cycle
+                # Every availability front is still 0.0, so ``data_ready <=
+                # avail[idx]`` reduces to ``data_ready <= 0.0`` and no
+                # future -> now drain is needed before the initial refresh.
+                if data_ready <= 0.0:
+                    heappush(now[idx], (assignment.order_index, assignment))
+                else:
+                    heappush(future[idx],
+                             (data_ready, assignment.order_index, assignment))
+        for idx in range(n_accs):
+            acc_now = now[idx]
+            acc_future = future[idx]
             best: Optional[Tuple[float, int]] = None
             if acc_now:
-                best = (avail, acc_now[0][0])
+                best = (0.0, acc_now[0][0])
             if acc_future:
                 key = (acc_future[0][0], acc_future[0][1])
                 if best is None or key < best:
                     best = key
-            return best
-
-        events: List[Tuple[float, int, str]] = []
-
-        def push_candidate(acc_name: str) -> None:
-            key = best_candidate(acc_name)
-            if key is not None:
-                heappush(events, (key[0], key[1], acc_name))
-
-        for assignment in assignments:
-            if assignment.unmet_producers == 0:
-                enqueue_ready(assignment)
-        for acc in sub_accelerators:
-            push_candidate(acc.name)
+            candidates[idx] = best
 
         entries_append = schedule.entries.append
         consumers_get = consumers.get
+        indices = range(n_accs)
         remaining = len(assignments)
         while remaining:
-            if not events:
+            best = None
+            best_idx = -1
+            for idx in indices:
+                key = candidates[idx]
+                if key is not None and (best is None or key < best):
+                    best = key
+                    best_idx = idx
+            if best is None:
                 raise SchedulingError(
                     "post-processing dead-lock: no ready layer found; this indicates a bug"
                 )
-            start, order_index, acc_name = heappop(events)
-            current = best_candidate(acc_name)
-            if current != (start, order_index):
-                continue  # Stale: a fresher candidate for this acc is queued.
+            start = best[0]
             # The winning assignment sits at the top of whichever heap carries
             # its start time: ``now`` when it waits on the array, ``future``
-            # when it waits on data (best_candidate drained dr <= avail).
-            if start <= acc_avail[acc_name]:
-                _, assignment = heappop(now[acc_name])
+            # when it waits on data (the refresh below drained dr <= avail).
+            if start <= avail[best_idx]:
+                _, assignment = heappop(now[best_idx])
             else:
-                _, _, assignment = heappop(future[acc_name])
+                _, _, assignment = heappop(future[best_idx])
             finish = start + assignment.latency_cycles
             # Entries are appended directly: every record is valid by
             # construction (known sub-accelerator, finish >= start), and
             # Schedule._sync_caches rebuilds the timeline memos lazily on the
             # first accounting access.
             entries_append(ScheduledLayer(
-                layer=assignment.layer,
-                instance_id=assignment.instance_id,
-                layer_index=assignment.layer_index,
-                sub_accelerator=acc_name,
-                start_cycle=start,
-                finish_cycle=finish,
-                cost=assignment.cost,
-            ))
-            acc_avail[acc_name] = finish
+                assignment.layer, assignment.instance_id,
+                assignment.layer_index, names[best_idx], start, finish,
+                assignment.cost))
+            avail[best_idx] = finish
             # ``touched`` is a tiny list (bounded by the sub-accelerator
             # count) with explicit membership checks — cheaper than a set at
             # this size, and it runs once per committed layer.
-            touched = [acc_name]
-            for consumer in consumers_get(
-                    (assignment.instance_id, assignment.layer_index), ()):
-                consumer.unmet_producers -= 1
-                if finish > consumer.data_ready_cycle:
-                    consumer.data_ready_cycle = finish
-                if consumer.unmet_producers == 0:
-                    enqueue_ready(consumer)
-                    if consumer.sub_accelerator not in touched:
-                        touched.append(consumer.sub_accelerator)
-            for name in touched:
-                push_candidate(name)
+            touched = [best_idx]
+            consumer_list = consumers_get(
+                (assignment.instance_id, assignment.layer_index))
+            if consumer_list is not None:
+                for consumer in consumer_list:
+                    consumer.unmet_producers -= 1
+                    if finish > consumer.data_ready_cycle:
+                        consumer.data_ready_cycle = finish
+                    if consumer.unmet_producers == 0:
+                        cidx = acc_index[consumer.sub_accelerator]
+                        data_ready = consumer.data_ready_cycle
+                        if data_ready <= avail[cidx]:
+                            heappush(now[cidx],
+                                     (consumer.order_index, consumer))
+                        else:
+                            heappush(future[cidx],
+                                     (data_ready, consumer.order_index,
+                                      consumer))
+                        if cidx not in touched:
+                            touched.append(cidx)
+            for idx in touched:
+                # Refresh the cached best ``(start, order_index)`` candidate:
+                # migrate newly-startable layers future -> now, then take the
+                # better of the two heap heads.
+                avail_idx = avail[idx]
+                acc_future = future[idx]
+                acc_now = now[idx]
+                while acc_future and acc_future[0][0] <= avail_idx:
+                    _, order_index, moved = heappop(acc_future)
+                    heappush(acc_now, (order_index, moved))
+                if acc_now:
+                    key = (avail_idx, acc_now[0][0])
+                    if acc_future:
+                        head = acc_future[0]
+                        if head[0] < avail_idx:
+                            key = (head[0], head[1])
+                elif acc_future:
+                    head = acc_future[0]
+                    key = (head[0], head[1])
+                else:
+                    key = None
+                candidates[idx] = key
             remaining -= 1
         return schedule
 

@@ -78,10 +78,16 @@ class DataflowStyle:
             )
         # Freeze the cap mapping so the style stays hashable (cost-model cache key).
         object.__setattr__(self, "max_unroll", MappingProxyType(dict(self.max_unroll)))
+        # Styles are immutable, so the hash — taken on every mapper/cost memo
+        # probe — is computed once here rather than per lookup.
+        object.__setattr__(
+            self, "_hash",
+            hash((self.name, self.spatial_dims, self.stationary,
+                  self.spatial_reduction,
+                  tuple(sorted(self.max_unroll.items())))))
 
     def __hash__(self) -> int:
-        return hash((self.name, self.spatial_dims, self.stationary, self.spatial_reduction,
-                     tuple(sorted(self.max_unroll.items()))))
+        return self._hash
 
     def __reduce__(self):
         # The frozen ``max_unroll`` mapping is a ``mappingproxy``, which the

@@ -364,15 +364,22 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _init_worker(cost_model: CostModel, scheduler: HeraldScheduler,
-                 chaos: Optional[ChaosSpec] = None) -> None:
+                 chaos: Optional[ChaosSpec] = None,
+                 shared_table: bool = False) -> None:
     """Pool initializer: adopt the shipped (warm) cost model and scheduler.
 
     ``cost_model`` and ``scheduler`` are pickled together, so the scheduler's
     cost-model reference survives the trip and both name the same object here.
+    With ``shared_table`` the parent guarantees the shipped memo already
+    covers every pair the tasks will read, so the worker neither tracks what
+    was sent nor ships entries back — the table is read-mostly and travels
+    exactly once, with the initializer.
     """
     _WORKER_STATE["model"] = cost_model
     _WORKER_STATE["scheduler"] = scheduler
-    _WORKER_STATE["sent_keys"] = {key for key, _ in cost_model.cache_items()}
+    _WORKER_STATE["shared_table"] = shared_table
+    _WORKER_STATE["sent_keys"] = (
+        set() if shared_table else {key for key, _ in cost_model.cache_items()})
     _WORKER_STATE["chaos"] = chaos
 
 
@@ -382,14 +389,17 @@ def _run_chunk(tasks: Sequence[EvaluationTask]
     """Worker body: evaluate one chunk, returning results and new memo entries."""
     model: CostModel = _WORKER_STATE["model"]
     scheduler: HeraldScheduler = _WORKER_STATE["scheduler"]
-    sent_keys = _WORKER_STATE["sent_keys"]
     hits_before = model.hits
     misses_before = model.misses
     results = [(task.task_id, run_evaluation_task(task, model, scheduler))
                for task in tasks]
-    new_entries = [(key, cost) for key, cost in model.cache_items()
-                   if key not in sent_keys]
-    sent_keys.update(key for key, _ in new_entries)
+    if _WORKER_STATE.get("shared_table"):
+        new_entries: List[Tuple[Tuple, LayerCost]] = []
+    else:
+        sent_keys = _WORKER_STATE["sent_keys"]
+        new_entries = [(key, cost) for key, cost in model.cache_items()
+                       if key not in sent_keys]
+        sent_keys.update(key for key, _ in new_entries)
     return results, new_entries, model.hits - hits_before, model.misses - misses_before
 
 
@@ -407,7 +417,6 @@ def _run_pool_task(task: EvaluationTask, attempt: int
     """
     model: CostModel = _WORKER_STATE["model"]
     scheduler: HeraldScheduler = _WORKER_STATE["scheduler"]
-    sent_keys = _WORKER_STATE["sent_keys"]
     chaos: Optional[ChaosSpec] = _WORKER_STATE.get("chaos")  # type: ignore[assignment]
     if chaos is not None and chaos.real_faults:
         fault = chaos.fault_for(task.task_id, attempt)
@@ -422,9 +431,13 @@ def _run_pool_task(task: EvaluationTask, attempt: int
     hits_before = model.hits
     misses_before = model.misses
     result = run_evaluation_task(task, model, scheduler)
-    new_entries = [(key, cost) for key, cost in model.cache_items()
-                   if key not in sent_keys]
-    sent_keys.update(key for key, _ in new_entries)
+    if _WORKER_STATE.get("shared_table"):
+        new_entries: List[Tuple[Tuple, LayerCost]] = []
+    else:
+        sent_keys = _WORKER_STATE["sent_keys"]
+        new_entries = [(key, cost) for key, cost in model.cache_items()
+                       if key not in sent_keys]
+        sent_keys.update(key for key, _ in new_entries)
     return (task.task_id, result, new_entries,
             model.hits - hits_before, model.misses - misses_before)
 
@@ -439,7 +452,11 @@ class ProcessPoolBackend(_ResilientMixin):
     exception propagates.  Every worker starts from a copy of the parent's
     (possibly cache-warmed) cost model; new memo entries computed in the
     workers are shipped back and merged into the parent model, so a
-    subsequent run — serial or parallel — starts warm.
+    subsequent run — serial or parallel — starts warm.  When the parent memo
+    already covers everything a run reads (a prewarmed sweep), the table is
+    instead treated as shared and read-mostly: it ships once with the pool
+    initializer and the per-task merge-back pickling is skipped entirely
+    (see ``shared_table``).
 
     With a retry policy, tasks are dispatched one future at a time through a
     ``concurrent.futures`` executor with a bounded in-flight window.  A dead
@@ -476,6 +493,18 @@ class ProcessPoolBackend(_ResilientMixin):
     retry_policy:
         Optional fault-tolerance budget; ``None`` keeps the historical
         fail-fast chunked path.
+    shared_table:
+        Whether the parent's memo is treated as a shared read-mostly cost
+        table: it ships to each worker exactly once (with the pool
+        initializer) and the workers skip the per-task/per-chunk scan-and-
+        pickle of new entries back to the parent.  ``None`` (the default) is
+        auto: the table is shared for a run when the parent memo already
+        covers every (shape, hardware) pair the submitted tasks reference —
+        which is exactly the state :meth:`HeraldDSE.explore`'s prewarm
+        establishes.  ``False`` pins the historical merge-back behaviour;
+        ``True`` forces sharing (worker-computed entries are then simply not
+        propagated back, which never affects results — the parent recomputes
+        lazily on demand).
     """
 
     def __init__(self, jobs: int = 2, cost_model: Optional[CostModel] = None,
@@ -483,7 +512,8 @@ class ProcessPoolBackend(_ResilientMixin):
                  cache: Optional[PersistentCostCache] = None,
                  chunk_size: Optional[int] = None,
                  start_method: Optional[str] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 shared_table: Optional[bool] = None) -> None:
         if jobs < 1:
             raise SearchError(f"jobs must be >= 1 (got {jobs})")
         if chunk_size is not None and chunk_size < 1:
@@ -495,6 +525,8 @@ class ProcessPoolBackend(_ResilientMixin):
         self.chunk_size = chunk_size
         self.start_method = start_method
         self.retry_policy = retry_policy
+        self.shared_table = shared_table
+        self._shared_this_run = False
         self.chaos: Optional[ChaosSpec] = None
         self._cache_warmed = False
         self.last_cold_evaluations = 0
@@ -517,6 +549,7 @@ class ProcessPoolBackend(_ResilientMixin):
             return []
         _ensure_unique_task_ids(tasks)
         self._warm_from_cache()
+        self._shared_this_run = self._table_is_shared(tasks)
         chunks = self._chunk(list(tasks))
         context = multiprocessing.get_context(self.start_method)
         by_id: Dict[int, EvaluationResult] = {}
@@ -525,7 +558,8 @@ class ProcessPoolBackend(_ResilientMixin):
         self.last_new_cache_entries = 0
         try:
             with context.Pool(processes=self.jobs, initializer=_init_worker,
-                              initargs=(self.cost_model, self.scheduler)) as pool:
+                              initargs=(self.cost_model, self.scheduler, None,
+                                        self._shared_this_run)) as pool:
                 # imap_unordered so completed chunks merge as they arrive: an
                 # interrupt or worker death partway through still banks every
                 # finished chunk's results and memo entries below.
@@ -556,12 +590,42 @@ class ProcessPoolBackend(_ResilientMixin):
     # ------------------------------------------------------------------
     # Resilient path
     # ------------------------------------------------------------------
+    def _table_is_shared(self, tasks: Sequence[EvaluationTask]) -> bool:
+        """Whether this run's memo travels to the workers read-mostly.
+
+        In auto mode (``shared_table=None``) the table is shared exactly when
+        the parent memo already covers every (shape, hardware) pair the
+        submitted tasks can read — the state a prewarmed sweep is in.  The
+        check is conservative: a workload that cannot enumerate its unique
+        shapes keeps the merge-back path.
+        """
+        if self.shared_table is not None:
+            return self.shared_table
+        model = self.cost_model
+        cache_has = model._cache.__contains__
+        seen_configs = set()
+        for task in tasks:
+            unique_shapes = getattr(task.workload, "unique_shape_layers", None)
+            if unique_shapes is None:
+                return False
+            for acc in task.design.sub_accelerators:
+                hw_key = model.hardware_key(acc)
+                probe = (id(task.workload),) + hw_key
+                if probe in seen_configs:
+                    continue
+                seen_configs.add(probe)
+                for layer in unique_shapes():
+                    if not cache_has((layer.shape_key,) + hw_key):
+                        return False
+        return True
+
     def _make_executor(self) -> concurrent.futures.ProcessPoolExecutor:
         context = multiprocessing.get_context(self.start_method)
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.jobs, mp_context=context,
             initializer=_init_worker,
-            initargs=(self.cost_model, self.scheduler, self.chaos))
+            initargs=(self.cost_model, self.scheduler, self.chaos,
+                      self._shared_this_run))
 
     @staticmethod
     def _kill_executor(executor: concurrent.futures.ProcessPoolExecutor
@@ -588,6 +652,7 @@ class ProcessPoolBackend(_ResilientMixin):
         self.last_cold_evaluations = 0
         self.last_cache_hits = 0
         self.last_new_cache_entries = 0
+        self._shared_this_run = self._table_is_shared(tasks)
         attempts: Dict[int, int] = {task.task_id: 0 for task in tasks}
         queue: Deque[EvaluationTask] = collections.deque(tasks)
         in_flight: Dict[concurrent.futures.Future,

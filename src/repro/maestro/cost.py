@@ -85,6 +85,14 @@ class LayerCost:
             self.energy_compute_pj + self.energy_rf_pj + self.energy_local_pj
             + self.energy_noc_pj + self.energy_sram_pj + self.energy_dram_pj
             + self.energy_overhead_pj)
+        # Derived scalars read by every ranking/accounting pass; the
+        # expressions are the ones the properties used to evaluate per access,
+        # so the cached values are bitwise identical.
+        object.__setattr__(
+            self, "_latency_s",
+            cycles_to_seconds(self._latency_cycles, self.clock_hz))
+        object.__setattr__(
+            self, "_edp", (self._energy_pj * 1e-12) * self._latency_s)
 
     # ------------------------------------------------------------------
     # Latency
@@ -97,7 +105,7 @@ class LayerCost:
     @property
     def latency_s(self) -> float:
         """Latency in seconds."""
-        return cycles_to_seconds(self.latency_cycles, self.clock_hz)
+        return self._latency_s
 
     @property
     def bound_by(self) -> str:
@@ -125,7 +133,7 @@ class LayerCost:
     @property
     def edp(self) -> float:
         """Energy-delay product in joule-seconds."""
-        return (self.energy_pj * 1e-12) * self.latency_s
+        return self._edp
 
     def energy_breakdown(self) -> Dict[str, float]:
         """Per-component energy in picojoules."""
@@ -206,12 +214,24 @@ class CostModel:
     rda_styles:
         Dataflow styles a reconfigurable accelerator may choose from when a
         sub-accelerator is marked reconfigurable (``dataflow is None``).
+    vectorized:
+        Whether batch entry points (:meth:`batch_layer_costs`,
+        :meth:`prewarm`) estimate their misses through the numpy array
+        programs of :mod:`repro.maestro.batch`.  ``None`` (the default) is
+        auto: vectorise when numpy is available and the batch is large enough
+        to amortise the per-call numpy overhead; ``True`` forces the
+        vectorised path whenever numpy is available; ``False`` pins the
+        scalar path.  Both paths are bitwise-identical by contract (the
+        golden gates compare them float for float), so the flag is purely a
+        performance knob.
     """
 
     def __init__(self, energy_table: EnergyTable = DEFAULT_ENERGY_TABLE,
-                 rda_styles: Sequence[DataflowStyle] = ALL_STYLES) -> None:
+                 rda_styles: Sequence[DataflowStyle] = ALL_STYLES,
+                 vectorized: Optional[bool] = None) -> None:
         self.energy_table = energy_table
         self.rda_styles: Tuple[DataflowStyle, ...] = tuple(rda_styles)
+        self.vectorized = vectorized
         self._cache: Dict[Tuple, LayerCost] = {}
         self.hits = 0
         self.misses = 0
@@ -244,22 +264,25 @@ class CostModel:
             self.hits += 1
             return cached
         self.misses += 1
+        cost = self._compute_cost(layer, sub_accelerator)
+        self._cache[key] = cost
+        if self.new_entry_hook is not None:
+            self.new_entry_hook(key, cost)
+        return cost
 
+    def _compute_cost(self, layer: Layer,
+                      sub_accelerator: SubAcceleratorConfig) -> LayerCost:
+        """Scalar estimation of one (layer, sub-accelerator) pair."""
         if sub_accelerator.is_reconfigurable:
-            cost = min(
+            return min(
                 (
                     self._estimate_on(layer, style, sub_accelerator, reconfigurable=True)
                     for style in self.rda_styles
                 ),
                 key=lambda c: c.edp,
             )
-        else:
-            cost = self._estimate_on(layer, sub_accelerator.dataflow, sub_accelerator,
-                                     reconfigurable=False)
-        self._cache[key] = cost
-        if self.new_entry_hook is not None:
-            self.new_entry_hook(key, cost)
-        return cost
+        return self._estimate_on(layer, sub_accelerator.dataflow, sub_accelerator,
+                                 reconfigurable=False)
 
     def layer_cost_with_style(self, layer: Layer, style: DataflowStyle,
                               sub_accelerator: SubAcceleratorConfig) -> LayerCost:
@@ -292,21 +315,132 @@ class CostModel:
         for acc in sub_accelerators:
             acc_name = acc.name
             hw_key = self.hardware_key(acc)
+            missing: List[Tuple[Tuple, Layer]] = []
+            pending: List[Tuple[Tuple[Tuple, str], Tuple]] = []
             for layer in layers:
                 shape = layer.shape_key
                 entry = (shape, acc_name)
                 if entry in table:
                     continue
                 # Inline fast path of :meth:`layer_cost` with the hardware key
-                # hoisted out of the layer loop; misses fall back to the full
-                # method (which recomputes the key and counts the miss).
-                cached = cache.get((shape,) + hw_key)
+                # hoisted out of the layer loop; misses are collected and
+                # estimated as one batch per sub-accelerator (vectorised when
+                # the model and the batch size allow).
+                key = (shape,) + hw_key
+                cached = cache.get(key)
                 if cached is not None:
                     self.hits += 1
                     table[entry] = cached
                 else:
-                    table[entry] = self.layer_cost(layer, acc)
+                    table[entry] = None  # type: ignore[assignment] # dedupe marker
+                    missing.append((key, layer))
+                    pending.append((entry, key))
+            if missing:
+                self._install_computed(missing, acc)
+                for entry, key in pending:
+                    table[entry] = cache[key]
         return table
+
+    def prewarm(self, layers: Sequence[Layer],
+                sub_accelerators: Sequence[SubAcceleratorConfig]) -> int:
+        """Populate the memo for ``layers`` x ``sub_accelerators`` up front.
+
+        Unlike :meth:`batch_layer_costs` this keys nothing by sub-accelerator
+        *name*, so candidate configurations that reuse a name (partition
+        candidates all call their RDA ``"hda-0"``) are each estimated; two
+        configurations sharing a :meth:`hardware_key` still share entries.
+        Warm pairs count as hits, exactly as the historical per-pair
+        :meth:`layer_cost` prewarm loop did.  Returns the number of entries
+        actually computed (the cold-evaluation count callers credit to their
+        backend totals).
+        """
+        computed = 0
+        for acc in sub_accelerators:
+            hw_key = self.hardware_key(acc)
+            seen = set()
+            missing: List[Tuple[Tuple, Layer]] = []
+            for layer in layers:
+                key = (layer.shape_key,) + hw_key
+                if key in seen:
+                    continue
+                seen.add(key)
+                if key in self._cache:
+                    self.hits += 1
+                else:
+                    missing.append((key, layer))
+            if missing:
+                self._install_computed(missing, acc)
+                computed += len(missing)
+        return computed
+
+    def _use_vectorized(self, batch_size: int) -> bool:
+        """Whether a batch of ``batch_size`` misses takes the numpy path.
+
+        Subclasses that override the scalar estimator (the hot-path benchmark
+        emulates the historical model that way) always stay scalar; otherwise
+        the :attr:`vectorized` knob decides, with auto mode requiring the
+        batch to be worth numpy's per-call overhead.
+        """
+        if self.vectorized is False:
+            return False
+        if type(self)._estimate_on is not CostModel._estimate_on:
+            return False
+        from repro.maestro import batch as batch_module
+        if not batch_module.numpy_available():
+            return False
+        return self.vectorized is True or batch_size >= batch_module.MIN_BATCH_SIZE
+
+    def _install_computed(self, missing: Sequence[Tuple[Tuple, Layer]],
+                          sub_accelerator: SubAcceleratorConfig) -> None:
+        """Estimate and memoise ``missing`` (key, layer) pairs on one config.
+
+        Counter and hook semantics match the scalar miss path entry for
+        entry: one counted miss and one ``new_entry_hook`` firing per
+        computed cost, in discovery order.
+        """
+        layers = [layer for _, layer in missing]
+        if self._use_vectorized(len(layers)):
+            costs = self._batch_estimate(layers, sub_accelerator)
+        else:
+            costs = [self._compute_cost(layer, sub_accelerator) for layer in layers]
+        hook = self.new_entry_hook
+        for (key, _), cost in zip(missing, costs):
+            self.misses += 1
+            self._cache[key] = cost
+            if hook is not None:
+                hook(key, cost)
+
+    def _batch_estimate(self, layers: Sequence[Layer],
+                        sub_accelerator: SubAcceleratorConfig) -> List[LayerCost]:
+        """Vectorised estimation of ``layers`` on one configuration.
+
+        For a reconfigurable sub-accelerator each candidate style is batch
+        estimated and the per-layer minimum-EDP cost is selected with the same
+        first-on-tie semantics as the scalar ``min``.
+        """
+        from repro.maestro.batch import batch_estimate
+
+        def run(style: DataflowStyle, reconfigurable: bool) -> List[LayerCost]:
+            return batch_estimate(
+                layers, style,
+                num_pes=sub_accelerator.num_pes,
+                bandwidth_bytes_per_cycle=sub_accelerator.bandwidth_bytes_per_cycle,
+                dram_bytes_per_cycle=sub_accelerator.dram_bandwidth_bytes_per_cycle,
+                buffer_bytes=sub_accelerator.buffer_bytes,
+                clock_hz=sub_accelerator.clock_hz,
+                energy_table=self.energy_table,
+                reconfigurable=reconfigurable,
+            )
+
+        if not sub_accelerator.is_reconfigurable:
+            return run(sub_accelerator.dataflow, reconfigurable=False)
+        per_style = [run(style, reconfigurable=True) for style in self.rda_styles]
+        best = list(per_style[0])
+        for style_costs in per_style[1:]:
+            for index, cost in enumerate(style_costs):
+                if cost.edp < best[index].edp:
+                    best[index] = cost
+        return best
 
     def cache_size(self) -> int:
         """Number of memoised (layer, hardware) cost entries."""
@@ -394,6 +528,26 @@ class CostModel:
 
     def _key(self, layer: Layer, sub_accelerator: SubAcceleratorConfig) -> Tuple:
         return (layer.shape_key,) + self.hardware_key(sub_accelerator)
+
+
+def clear_all_memos(cost_model: Optional[CostModel] = None) -> None:
+    """Drop every process-global estimator memo, and optionally a model's.
+
+    ``clear_reuse_cache()`` alone leaves the mapper memos (and the vectorised
+    path's integer rows) warm, so "cold" measurements taken after it were
+    partially warm.  This clears the mapping memo (plus its divisor/candidate
+    lrus), the reuse memo, and the batch rows in one call; pass a
+    ``cost_model`` to drop its per-(shape, hardware) cost cache too.
+    """
+    from repro.dataflow.mapping import clear_mapping_cache
+    from repro.maestro.batch import clear_batch_cache
+    from repro.maestro.reuse import clear_reuse_cache
+
+    clear_mapping_cache()
+    clear_reuse_cache()
+    clear_batch_cache()
+    if cost_model is not None:
+        cost_model.clear_cache()
 
 
 def metric_value(cost: LayerCost, metric: str) -> float:

@@ -93,11 +93,17 @@ class WorkloadSpec:
         field(default=None, init=False, repr=False, compare=False)
     _shapes_memo: Optional[Tuple[Tuple[Tuple[str, int], ...], List[Layer]]] = \
         field(default=None, init=False, repr=False, compare=False)
+    #: Scheduler-owned memo of the design-independent visiting order (see
+    #: ``HeraldScheduler._static_visit_order``), keyed by ordering policy.
+    #: Lives here because its lifetime is the workload's, like the expansions.
+    _static_order_memo: Optional[Dict[str, Tuple]] = \
+        field(default=None, init=False, repr=False, compare=False)
 
     def __getstate__(self) -> Dict[str, object]:
         state = dict(self.__dict__)
         state["_instances_memo"] = None
         state["_shapes_memo"] = None
+        state["_static_order_memo"] = None
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:

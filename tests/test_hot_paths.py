@@ -29,15 +29,20 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 import golden_scheduler
-from repro.accel.builders import make_fda
+from repro.accel.builders import enumerate_fdas, make_fda
 from repro.core.partitioner import PartitionSearch
 from repro.core.scheduler import HeraldScheduler
+from repro.dataflow.mapping import (build_mapping, clear_mapping_cache,
+                                    mapping_cache_info)
 from repro.dataflow.styles import ALL_STYLES, NVDLA, SHIDIANNAO
 from repro.exec import (EvaluationTask, PersistentCostCache,
                         ProcessPoolBackend, SerialBackend)
 from repro.exec.cache import CACHE_FORMAT_VERSION
-from repro.maestro.cost import CostModel
+from repro.maestro import batch as batch_module
+from repro.maestro.cost import CostModel, clear_all_memos
 from repro.maestro.hardware import SubAcceleratorConfig
+from repro.maestro.reuse import (analyse_layer_reuse, clear_reuse_cache,
+                                 reuse_cache_size)
 from repro.models.graph import ModelGraph
 from repro.models.layer import Layer, LayerType, conv2d, fc, pwconv, upconv
 from repro.units import gbps, mib
@@ -398,3 +403,209 @@ class TestHeapSchedulerMatchesReference:
                 reference = scheduler._list_schedule_reference(assignments, accs)
                 assert _timeline_tuples(heap_schedule) == \
                     _timeline_tuples(reference)
+
+
+# ---------------------------------------------------------------------------
+# Memo keying regressions (the shape-key bugfixes this PR pins)
+# ---------------------------------------------------------------------------
+
+class TestShapeKeyedMemoBugfix:
+    """The mapping and reuse memos key on shape, not layer identity.
+
+    Both memos were historically keyed on the full frozen ``Layer`` — whose
+    ``__eq__``/``__hash__`` include ``name`` and ``model_name`` — so renamed
+    same-shape layers (batches, repeated blocks, per-model clones) each paid a
+    fresh mapper search and reuse analysis and each occupied a memo slot.
+    """
+
+    _SHAPE = dict(k=8, c=4, y=16, x=16, r=3, s=3)
+
+    def test_renamed_layer_hits_same_mapping_entry(self):
+        clear_mapping_cache()
+        layer = conv2d("block1", model_name="net-a", **self._SHAPE)
+        first = build_mapping(layer, NVDLA, 128)
+        before = mapping_cache_info()
+        second = build_mapping(layer.renamed("block9", model_name="net-b"),
+                               NVDLA, 128)
+        after = mapping_cache_info()
+        assert second is first
+        assert after.hits == before.hits + 1
+        assert after.currsize == before.currsize == 1
+
+    def test_mapping_cache_size_is_per_shape_not_per_name(self):
+        clear_mapping_cache()
+        layer = conv2d("base", **self._SHAPE)
+        for index in range(6):
+            build_mapping(layer.renamed(f"clone{index}",
+                                        model_name=f"model{index}"),
+                          NVDLA, 128)
+        assert mapping_cache_info().currsize == 1
+        assert mapping_cache_info().misses == 1
+
+    def test_renamed_layer_hits_same_reuse_entry(self):
+        clear_reuse_cache()
+        layer = conv2d("block1", model_name="net-a", **self._SHAPE)
+        first = analyse_layer_reuse(layer, NVDLA, 128, mib(1))
+        second = analyse_layer_reuse(
+            layer.renamed("block9", model_name="net-b"), NVDLA, 128, mib(1))
+        assert second is first
+        assert reuse_cache_size() == 1
+
+    def test_clear_all_memos_covers_every_process_global_memo(self):
+        model = CostModel(vectorized=True)
+        layer = conv2d("seed", **self._SHAPE)
+        build_mapping(layer, NVDLA, 128)
+        analyse_layer_reuse(layer, NVDLA, 128, mib(1))
+        model.layer_cost(layer, _sub())
+        if batch_module.numpy_available():
+            model.batch_layer_costs([layer], [_sub(SHIDIANNAO, name="v0")])
+            assert len(batch_module._rows_memo) > 0
+        assert mapping_cache_info().currsize > 0
+        assert reuse_cache_size() > 0
+        clear_all_memos(model)
+        assert mapping_cache_info() == (0, 0, mapping_cache_info().maxsize, 0)
+        assert reuse_cache_size() == 0
+        assert len(batch_module._rows_memo) == 0
+        assert model.cache_size() == 0
+
+
+# ---------------------------------------------------------------------------
+# Vectorised cost core (numpy array programs vs the scalar estimator)
+# ---------------------------------------------------------------------------
+
+def _bitwise_fields(cost):
+    """reprs of every numeric field — bitwise float comparison, not ==."""
+    return tuple(repr(value) for value in _cost_fields(cost))
+
+
+class TestVectorisedCostCore:
+    @given(
+        layers=st.lists(_small_layers, min_size=1, max_size=10),
+        pes=st.sampled_from([64, 128]),
+        buffer_kib=st.sampled_from([256, 1024]),
+        style_index=st.integers(min_value=0, max_value=len(ALL_STYLES)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorised_table_is_bitwise_equal_to_scalar(self, layers, pes,
+                                                         buffer_kib,
+                                                         style_index):
+        """Random layers x styles x hardware: both paths agree float for float.
+
+        ``style_index == len(ALL_STYLES)`` draws the reconfigurable (RDA)
+        configuration, whose per-style EDP argmin must also match the scalar
+        first-on-tie semantics exactly.
+        """
+        if not batch_module.numpy_available():
+            pytest.skip("numpy unavailable: only the scalar path exists")
+        style = (None if style_index == len(ALL_STYLES)
+                 else ALL_STYLES[style_index])
+        acc = SubAcceleratorConfig(name="acc", dataflow=style, num_pes=pes,
+                                   bandwidth_bytes_per_s=gbps(4),
+                                   buffer_bytes=buffer_kib * 1024)
+        scalar = CostModel(vectorized=False)
+        vector = CostModel(vectorized=True)
+        scalar_table = scalar.batch_layer_costs(layers, [acc])
+        vector_table = vector.batch_layer_costs(layers, [acc])
+        assert sorted(scalar_table) == sorted(vector_table)
+        for entry, scalar_cost in scalar_table.items():
+            assert _bitwise_fields(vector_table[entry]) == \
+                _bitwise_fields(scalar_cost)
+        assert (scalar.hits, scalar.misses) == (vector.hits, vector.misses)
+
+    def test_forced_scalar_fallback_without_numpy(self):
+        """REPRO_DISABLE_NUMPY pins the scalar path, results unchanged."""
+        layers = [conv2d(f"c{i}", k=8 * (i + 1), c=4, y=16, x=16, r=3, s=3)
+                  for i in range(9)]
+        accs = [_sub(NVDLA, name="a0"), _sub(style=None, name="rda")]
+        reference = CostModel(vectorized=False).batch_layer_costs(layers, accs)
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setenv("REPRO_DISABLE_NUMPY", "1")
+            batch_module.reset_numpy_probe()
+            try:
+                assert not batch_module.numpy_available()
+                forced = CostModel(vectorized=True)
+                table = forced.batch_layer_costs(layers, accs)
+            finally:
+                patcher.undo()
+                batch_module.reset_numpy_probe()
+        assert sorted(table) == sorted(reference)
+        for entry, cost in table.items():
+            assert _bitwise_fields(cost) == _bitwise_fields(reference[entry])
+
+    def test_golden_timelines_with_vectorised_model(self, monkeypatch,
+                                                    golden_timelines):
+        """The full 192-scenario golden corpus, re-run with vectorized=True."""
+        if not batch_module.numpy_available():
+            pytest.skip("numpy unavailable: only the scalar path exists")
+        monkeypatch.setattr(golden_scheduler, "CostModel",
+                            lambda: CostModel(vectorized=True))
+        assert golden_scheduler.generate_timelines() == golden_timelines
+
+    def test_dse_ranking_with_vectorised_model(self, monkeypatch):
+        if not batch_module.numpy_available():
+            pytest.skip("numpy unavailable: only the scalar path exists")
+        golden = golden_scheduler.load_golden(golden_scheduler.DSE_FILE)
+        monkeypatch.setattr(golden_scheduler, "CostModel",
+                            lambda: CostModel(vectorized=True))
+        assert golden_scheduler.run_dse() == golden
+
+
+# ---------------------------------------------------------------------------
+# Shared read-mostly pool cost table
+# ---------------------------------------------------------------------------
+
+def _result_summaries(results):
+    return [(r.design.name, repr(r.latency_s), repr(r.energy_mj), repr(r.edp))
+            for r in results]
+
+
+class TestSharedPoolTable:
+    def _tasks(self, tiny_chip, small_workload):
+        return [EvaluationTask(i, design, small_workload)
+                for i, design in enumerate(enumerate_fdas(tiny_chip))]
+
+    def test_prewarmed_pool_ships_zero_entries_back(self, tiny_chip,
+                                                    small_workload):
+        """A prewarmed parent table is shared: no per-task merge-back."""
+        tasks = self._tasks(tiny_chip, small_workload)
+        model = CostModel()
+        for task in tasks:
+            model.prewarm(small_workload.unique_shape_layers(),
+                          task.design.sub_accelerators)
+        size_before = model.cache_size()
+        backend = ProcessPoolBackend(jobs=2, cost_model=model)
+        results = backend.run(tasks)
+        assert backend.last_new_cache_entries == 0
+        assert model.cache_size() == size_before
+        serial = SerialBackend().run(tasks)
+        assert _result_summaries(results) == _result_summaries(serial)
+
+    def test_forced_shared_table_skips_merge_back_on_cold_model(
+            self, tiny_chip, small_workload):
+        """shared_table=True never ships worker entries, results unchanged."""
+        tasks = self._tasks(tiny_chip, small_workload)
+        model = CostModel()
+        backend = ProcessPoolBackend(jobs=2, cost_model=model,
+                                     shared_table=True)
+        results = backend.run(tasks)
+        assert model.cache_size() == 0
+        assert backend.last_new_cache_entries == 0
+        serial = SerialBackend().run(tasks)
+        assert _result_summaries(results) == _result_summaries(serial)
+
+    def test_forced_merge_back_on_prewarmed_model(self, tiny_chip,
+                                                  small_workload):
+        """shared_table=False pins the historical merge-back protocol."""
+        tasks = self._tasks(tiny_chip, small_workload)
+        model = CostModel()
+        for task in tasks:
+            model.prewarm(small_workload.unique_shape_layers(),
+                          task.design.sub_accelerators)
+        backend = ProcessPoolBackend(jobs=2, cost_model=model,
+                                     shared_table=False)
+        results = backend.run(tasks)
+        # Workers recompute nothing (the shipped table covers every query),
+        # so even the merge-back protocol returns zero new entries.
+        assert backend.last_new_cache_entries == 0
+        serial = SerialBackend().run(tasks)
+        assert _result_summaries(results) == _result_summaries(serial)
